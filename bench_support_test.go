@@ -1,0 +1,26 @@
+package repro
+
+import (
+	"repro/fda"
+	"repro/internal/data"
+)
+
+// benchSampler is a minimal deterministic batch source for the
+// micro-benchmarks (avoids importing internal/data details in bench_test).
+type benchSampler struct {
+	ds  *fda.Dataset
+	pos int
+}
+
+func newBenchSampler(ds *fda.Dataset) *benchSampler { return &benchSampler{ds: ds} }
+
+func (s *benchSampler) batch(n int) data.Batch {
+	b := data.Batch{X: make([][]float64, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		j := (s.pos + i) % s.ds.Len()
+		b.X[i] = s.ds.X[j]
+		b.Y[i] = s.ds.Y[j]
+	}
+	s.pos = (s.pos + n) % s.ds.Len()
+	return b
+}

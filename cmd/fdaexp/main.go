@@ -1,0 +1,75 @@
+// Command fdaexp regenerates the paper's tables and figures on the scaled
+// workloads. Each experiment prints the data rows/series behind the
+// corresponding table or figure (see DESIGN.md §4 for the index).
+//
+// Examples:
+//
+//	fdaexp -exp table2
+//	fdaexp -exp fig3
+//	fdaexp -exp all -scale quick
+//	fdaexp -exp fig12 -scale full      # paper-like grids; hours of CPU
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		exp   = flag.String("exp", "all", "table2, fig3 … fig13, or all")
+		scale = flag.String("scale", "quick", "tiny, quick or full")
+		seed  = flag.Uint64("seed", 1, "experiment seed")
+	)
+	flag.Parse()
+
+	var sc experiments.Scale
+	switch *scale {
+	case "tiny":
+		sc = experiments.Tiny
+	case "quick":
+		sc = experiments.Quick
+	case "full":
+		sc = experiments.Full
+	default:
+		fmt.Fprintf(os.Stderr, "fdaexp: unknown scale %q\n", *scale)
+		os.Exit(1)
+	}
+	o := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout}
+
+	runners := map[string]func(experiments.Options){
+		"table2": func(o experiments.Options) { experiments.Table2(o) },
+		"fig3":   func(o experiments.Options) { experiments.Figure3(o) },
+		"fig4":   func(o experiments.Options) { experiments.Figure4(o) },
+		"fig5":   func(o experiments.Options) { experiments.Figure5(o) },
+		"fig6":   func(o experiments.Options) { experiments.Figure6(o) },
+		"fig7":   func(o experiments.Options) { experiments.Figure7(o) },
+		"fig8":   func(o experiments.Options) { experiments.Figure8(o) },
+		"fig9":   func(o experiments.Options) { experiments.Figure9(o) },
+		"fig10":  func(o experiments.Options) { experiments.Figure10(o) },
+		"fig11":  func(o experiments.Options) { experiments.Figure11(o) },
+		"fig12":  func(o experiments.Options) { experiments.Figure12(o) },
+		"fig13":  func(o experiments.Options) { experiments.Figure13(o) },
+	}
+	order := []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+
+	if *exp == "all" {
+		for _, name := range order {
+			start := time.Now()
+			runners[name](o)
+			fmt.Printf("[%s done in %.0fs]\n", name, time.Since(start).Seconds())
+		}
+		return
+	}
+	run, ok := runners[*exp]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fdaexp: unknown experiment %q\n", *exp)
+		os.Exit(1)
+	}
+	run(o)
+}

@@ -1,0 +1,186 @@
+// Command fdarun executes a single distributed training run of one zoo
+// model under one strategy and prints its communication / computation /
+// accuracy summary.
+//
+// Examples:
+//
+//	fdarun -model lenet5s -strategy LinearFDA -theta 0.05 -k 10 -target 0.95
+//	fdarun -model densenet121s -strategy Synchronous -k 5 -steps 300
+//	fdarun -model vgg16s -strategy FedAdam -k 10 -target 0.96
+//	fdarun -model lenet5s -strategy LinearFDA -theta 0.05 -het label0
+//	fdarun -model lenet5s -strategy SketchFDA -theta 0.05 -async -speeds 1,1,1,0.5,0.25
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/fda"
+)
+
+func main() {
+	var (
+		model    = flag.String("model", "lenet5s", "zoo model: lenet5s, vgg16s, densenet121s, densenet201s, convnexts")
+		strategy = flag.String("strategy", "LinearFDA", "LinearFDA, SketchFDA, OracleFDA, Synchronous, LocalSGD, IncTau, DecTau, PostLocal, LAG, FedAvg, FedAvgM, FedAdam")
+		theta    = flag.Float64("theta", 0, "variance threshold Θ (0 = second entry of the model's default grid)")
+		tau      = flag.Int("tau", 10, "τ for LocalSGD/IncTau/DecTau/PostLocal/LAG")
+		budget   = flag.Float64("budget", 0, "bytes/step bandwidth budget; wraps the FDA variant with the §5 adaptive-Θ controller")
+		k        = flag.Int("k", 5, "number of workers K")
+		batch    = flag.Int("batch", 32, "local mini-batch size")
+		steps    = flag.Int("steps", 600, "maximum in-parallel steps")
+		target   = flag.Float64("target", 0, "test-accuracy target (0 = run all steps)")
+		het      = flag.String("het", "iid", "data split: iid, label<Y>, pct<X>, dir<alpha>")
+		seed     = flag.Uint64("seed", 1, "run seed")
+		topk     = flag.Float64("topk", 0, "compose top-k sync compression with the given keep fraction")
+		qbits    = flag.Int("qbits", 0, "compose uniform quantization with the given bits per component")
+		async    = flag.Bool("async", false, "run the asynchronous (coordinator) FDA variant")
+		speeds   = flag.String("speeds", "", "comma-separated per-worker speeds for -async")
+	)
+	flag.Parse()
+
+	spec, err := fda.ModelByName(*model)
+	if err != nil {
+		fatal(err)
+	}
+	train, test := fda.DatasetForModel(spec, *seed)
+	th := *theta
+	if th == 0 {
+		th = spec.ThetaGrid[1]
+	}
+
+	cfg := fda.Config{
+		K: *k, BatchSize: *batch, Seed: *seed,
+		Model: spec.Build, Optimizer: spec.Optimizer,
+		Train: train, Test: test,
+		Het:            parseHet(*het),
+		MaxSteps:       *steps,
+		TargetAccuracy: *target,
+	}
+	switch {
+	case *topk > 0 && *qbits > 0:
+		cfg.SyncCodec = fda.Codec(chain{fda.TopK{Fraction: *topk}, fda.Quantize{Bits: *qbits}})
+	case *topk > 0:
+		cfg.SyncCodec = fda.TopK{Fraction: *topk}
+	case *qbits > 0:
+		cfg.SyncCodec = fda.Quantize{Bits: *qbits}
+	}
+
+	if *async {
+		ac := fda.AsyncConfig{Config: cfg, Theta: th, UseSketch: *strategy == "SketchFDA"}
+		if *speeds != "" {
+			for _, part := range strings.Split(*speeds, ",") {
+				v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+				if err != nil {
+					fatal(fmt.Errorf("bad -speeds entry %q: %v", part, err))
+				}
+				ac.Speeds = append(ac.Speeds, v)
+			}
+		}
+		res, err := fda.RunAsync(ac)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Println(res.Result)
+		fmt.Printf("per-worker steps: %v  virtual time: %.1f\n", res.StepsPerWorker, res.VirtualTime)
+		return
+	}
+
+	var strat fda.Strategy
+	switch *strategy {
+	case "LinearFDA":
+		strat = fda.NewLinearFDA(th)
+	case "SketchFDA":
+		strat = fda.NewSketchFDA(th)
+	case "OracleFDA":
+		strat = fda.NewOracleFDA(th)
+	case "Synchronous":
+		strat = fda.NewSynchronous()
+	case "LocalSGD":
+		strat = fda.NewLocalSGD(*tau)
+	case "IncTau":
+		strat = fda.NewIncreasingTauLocalSGD(*tau, 2)
+	case "DecTau":
+		strat = fda.NewDecreasingTauLocalSGD(*tau, 2)
+	case "PostLocal":
+		strat = fda.NewPostLocalSGD(*steps/4, *tau)
+	case "LAG":
+		strat = fda.NewLAG(*tau, 0.5)
+	case "FedAvg":
+		strat = fda.NewFedAvgFor(cfg, 1)
+	case "FedAvgM":
+		strat = fda.NewFedAvgMFor(cfg, 1)
+	case "FedAdam":
+		strat = fda.NewFedAdamFor(cfg, 1)
+	default:
+		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	}
+	if *budget > 0 {
+		switch *strategy {
+		case "LinearFDA", "SketchFDA":
+			strat = fda.NewAdaptiveTheta(strat, *budget)
+		default:
+			fatal(fmt.Errorf("-budget only applies to LinearFDA/SketchFDA"))
+		}
+	}
+
+	res, err := fda.Run(cfg, strat)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Println(res)
+	fmt.Println("history:")
+	for _, p := range res.History {
+		fmt.Printf("  step=%4d epoch=%5.1f acc=%.4f comm=%.4fGB syncs=%d\n",
+			p.Step, p.Epoch, p.TestAcc, float64(p.CommBytes)/1e9, p.SyncCount)
+	}
+	for _, prof := range []fda.NetworkProfile{fda.ProfileFL, fda.ProfileBalanced, fda.ProfileHPC} {
+		bits := float64(res.CommBytes) * 8
+		fmt.Printf("est. comm time on %-9s %.2fs\n", prof.Name+":", bits/prof.BandwidthBps)
+	}
+}
+
+// parseHet converts the -het flag (iid, labelY, pctX) to a scenario.
+func parseHet(s string) fda.Heterogeneity {
+	switch {
+	case s == "" || s == "iid":
+		return fda.IID()
+	case strings.HasPrefix(s, "label"):
+		y, err := strconv.Atoi(strings.TrimPrefix(s, "label"))
+		if err != nil {
+			fatal(fmt.Errorf("bad -het %q", s))
+		}
+		return fda.NonIIDLabel(y, 2)
+	case strings.HasPrefix(s, "pct"):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(s, "pct"), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -het %q", s))
+		}
+		return fda.NonIIDPercent(x)
+	case strings.HasPrefix(s, "dir"):
+		a, err := strconv.ParseFloat(strings.TrimPrefix(s, "dir"), 64)
+		if err != nil {
+			fatal(fmt.Errorf("bad -het %q", s))
+		}
+		return fda.NonIIDDirichlet(a)
+	default:
+		fatal(fmt.Errorf("unknown -het %q", s))
+		return fda.IID()
+	}
+}
+
+// chain is a two-stage codec for the -topk + -qbits combination.
+type chain [2]fda.Codec
+
+func (c chain) Name() string { return c[0].Name() + "+" + c[1].Name() }
+func (c chain) Roundtrip(dst, v []float64) int {
+	c[0].Roundtrip(dst, v)
+	return c[1].Roundtrip(dst, dst)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fdarun:", err)
+	os.Exit(1)
+}

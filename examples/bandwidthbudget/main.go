@@ -1,0 +1,59 @@
+// Bandwidth budget: the paper's §5 future-work proposal, implemented.
+// Instead of picking Θ by hand, AdaptiveTheta adjusts it during training
+// so the run's average communication tracks a target bytes-per-step
+// budget: when consumption runs hot the controller raises Θ (fewer
+// synchronizations); when there is headroom it lowers Θ (tighter
+// synchronization for free).
+//
+// Run with:
+//
+//	go run ./examples/bandwidthbudget
+package main
+
+import (
+	"fmt"
+
+	"repro/fda"
+)
+
+func main() {
+	train, test := fda.MNISTLike(17)
+	nz := fda.FitNormalizer(train)
+	nz.Apply(train)
+	nz.Apply(test)
+
+	model := func(rng *fda.RNG) *fda.Network {
+		return fda.NewNetwork(rng,
+			fda.NewDense(train.Dim(), 48, fda.GlorotUniformInit),
+			fda.NewReLU(48),
+			fda.NewDense(48, 10, fda.GlorotUniformInit),
+		)
+	}
+	d := model(fda.NewRNG(0)).NumParams()
+	const k = 8
+
+	// One model synchronization costs roughly 2(K−1)·d·4 bytes cluster-wide
+	// under ring accounting; express budgets as fractions of that.
+	syncBytes := float64(2 * (k - 1) * d * 4)
+
+	fmt.Printf("model d = %d, one synchronization ≈ %.0f kB cluster-wide\n\n", d, syncBytes/1e3)
+	fmt.Printf("%-22s %10s %10s %8s %9s\n", "budget (B/step)", "comm (MB)", "B/step", "syncs", "test acc")
+
+	for _, fraction := range []float64{1.0 / 100, 1.0 / 25, 1.0 / 5} {
+		budget := syncBytes * fraction
+		cfg := fda.Config{
+			K: k, BatchSize: 32, Seed: 17,
+			Model: model, Optimizer: fda.NewAdam(1e-3),
+			Train: train, Test: test,
+			MaxSteps: 600, EvalEvery: 50,
+		}
+		ctrl := fda.NewAdaptiveTheta(fda.NewLinearFDA(4e-5*float64(d)), budget)
+		res := fda.MustRun(cfg, ctrl)
+		perStep := float64(res.CommBytes) / float64(res.Steps)
+		fmt.Printf("%-22.0f %10.3f %10.0f %8d %9.3f\n",
+			budget, float64(res.CommBytes)/1e6, perStep, res.SyncCount, res.FinalTestAcc)
+	}
+
+	fmt.Println("\nhigher budgets are spent on more synchronizations (lower Θ);")
+	fmt.Println("tight budgets force Θ up while training continues locally.")
+}

@@ -1,0 +1,83 @@
+package fda_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"repro/fda"
+)
+
+// The extended facade surface: new layers, related-work strategies, the
+// adaptive-Θ controller, Dirichlet splits and checkpoints.
+func TestFacadeNewLayersTrain(t *testing.T) {
+	train, test := fda.MNISTLike(21)
+	model := func(rng *fda.RNG) *fda.Network {
+		conv := fda.NewConv2D(fda.Shape{H: 8, W: 8, C: 1}, 4, 3, fda.HeNormalInit)
+		block := fda.NewDenseBlock(fda.Shape{H: 8, W: 8, C: 1}, conv, 4)
+		pool := fda.NewAvgPool2D(block.OutShape(), 2)
+		return fda.NewNetwork(rng,
+			block,
+			fda.NewLeakyReLU(block.OutDim(), 0.1),
+			pool,
+			fda.NewBatchNorm(pool.OutDim()),
+			fda.NewDense(pool.OutDim(), 16, fda.HeNormalInit),
+			fda.NewSigmoid(16),
+			fda.NewDense(16, 10, fda.GlorotUniformInit),
+		)
+	}
+	cfg := fda.Config{
+		K: 3, BatchSize: 16, Seed: 21,
+		Model: model, Optimizer: fda.NewAdam(1e-3),
+		Train: train, Test: test,
+		MaxSteps: 30, EvalEvery: 15,
+	}
+	res := fda.MustRun(cfg, fda.NewLinearFDA(0.1))
+	if res.Steps != 30 {
+		t.Fatalf("run stopped early: %v", res)
+	}
+}
+
+func TestFacadeRelatedWorkStrategies(t *testing.T) {
+	train, test := fda.MNISTLike(22)
+	cfg := fda.Config{
+		K: 3, BatchSize: 16, Seed: 22,
+		Model:     buildMLP(train.Dim(), train.NumClasses),
+		Optimizer: fda.NewAdam(1e-3),
+		Train:     train, Test: test,
+		MaxSteps: 40, EvalEvery: 20,
+		Het: fda.NonIIDDirichlet(0.5),
+	}
+	for _, s := range []fda.Strategy{
+		fda.NewIncreasingTauLocalSGD(4, 2),
+		fda.NewDecreasingTauLocalSGD(16, 1),
+		fda.NewPostLocalSGD(10, 5),
+		fda.NewLAG(8, 0.5),
+		fda.NewAdaptiveTheta(fda.NewLinearFDA(0.05), 5000),
+	} {
+		res := fda.MustRun(cfg, s)
+		if res.Steps != 40 {
+			t.Fatalf("%s stopped early", res.Strategy)
+		}
+	}
+}
+
+func TestFacadeCheckpointRoundTrip(t *testing.T) {
+	train, _ := fda.MNISTLike(23)
+	net := buildMLP(train.Dim(), train.NumClasses)(fda.NewRNG(23))
+	path := filepath.Join(t.TempDir(), "m.ckpt")
+	if err := fda.SaveCheckpoint(path, &fda.Snapshot{Step: 7, Params: net.Params()}); err != nil {
+		t.Fatal(err)
+	}
+	snap, err := fda.LoadCheckpoint(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Step != 7 || len(snap.Params) != net.NumParams() {
+		t.Fatalf("snapshot %+v", snap)
+	}
+	for i, v := range net.Params() {
+		if snap.Params[i] != v {
+			t.Fatal("checkpoint payload mismatch")
+		}
+	}
+}

@@ -1,0 +1,251 @@
+// Package fda is the public API of the Federated Dynamic Averaging (FDA)
+// library — a Go reproduction of "Communication-Efficient Distributed Deep
+// Learning via Federated Dynamic Averaging" (EDBT 2025).
+//
+// FDA trains a model across K workers and synchronizes them only when the
+// model variance across workers exceeds a threshold Θ, estimated each step
+// from tiny per-worker states (an AMS sketch for SketchFDA, two scalars
+// for LinearFDA) instead of on a fixed schedule. The package re-exports
+// the library's building blocks:
+//
+//   - strategies: NewSketchFDA, NewLinearFDA, NewSynchronous, NewLocalSGD,
+//     NewFedAvg/NewFedAvgM/NewFedAdam (and their *For constructors),
+//   - the trainer: Run/MustRun over a Config, and RunAsync for the
+//     coordinator-based asynchronous variant,
+//   - substrates: neural networks (nn), optimizers (opt), synthetic
+//     datasets and heterogeneity partitioners (data), AMS sketches
+//     (sketch), the simulated cluster (comm), and sync compression
+//     (compress) through type aliases.
+//
+// A minimal training run:
+//
+//	train, test := fda.MNISTLike(1)
+//	cfg := fda.Config{
+//		K: 8, BatchSize: 32, Seed: 1,
+//		Model:     myModelBuilder,
+//		Optimizer: fda.NewAdam(1e-3),
+//		Train: train, Test: test,
+//		TargetAccuracy: 0.95,
+//	}
+//	res := fda.MustRun(cfg, fda.NewLinearFDA(0.05))
+//	fmt.Println(res)
+//
+// See examples/ for complete programs.
+package fda
+
+import (
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/sketch"
+	"repro/internal/tensor"
+)
+
+// Core training types.
+type (
+	// Config describes one training run; see core.Config.
+	Config = core.Config
+	// Result summarizes a run's cost and quality.
+	Result = core.Result
+	// Point is one evaluation snapshot of a run.
+	Point = core.Point
+	// Strategy is a synchronization policy.
+	Strategy = core.Strategy
+	// ModelBuilder constructs model replicas.
+	ModelBuilder = core.ModelBuilder
+	// AsyncConfig configures the asynchronous runner (§3.3).
+	AsyncConfig = core.AsyncConfig
+	// AsyncResult reports an asynchronous run.
+	AsyncResult = core.AsyncResult
+	// Env is the state strategies operate on (advanced use: custom
+	// strategies implement Strategy against it).
+	Env = core.Env
+)
+
+// Training entry points.
+var (
+	// Run executes a training run under a strategy.
+	Run = core.Run
+	// MustRun is Run that panics on configuration errors.
+	MustRun = core.MustRun
+	// RunAsync executes the coordinator-based asynchronous FDA variant.
+	RunAsync = core.RunAsync
+)
+
+// Strategies.
+var (
+	// NewSketchFDA returns the AMS-sketch FDA variant (Theorem 3.1).
+	NewSketchFDA = core.NewSketchFDA
+	// NewLinearFDA returns the two-scalar FDA variant (Theorem 3.2).
+	NewLinearFDA = core.NewLinearFDA
+	// NewOracleFDA returns the exact-variance ablation strategy.
+	NewOracleFDA = core.NewOracleFDA
+	// NewSynchronous returns the BSP baseline (sync every step).
+	NewSynchronous = core.NewSynchronous
+	// NewLocalSGD returns the fixed-τ Local-SGD baseline.
+	NewLocalSGD = core.NewLocalSGD
+	// NewFedAvgFor, NewFedAvgMFor and NewFedAdamFor return the federated
+	// optimization baselines with round lengths bound to a config.
+	NewFedAvgFor  = core.NewFedAvgFor
+	NewFedAvgMFor = core.NewFedAvgMFor
+	NewFedAdamFor = core.NewFedAdamFor
+	// Related-work schedules (§2): increasing/decreasing τ, post-local
+	// SGD and lazily aggregated rounds.
+	NewIncreasingTauLocalSGD = core.NewIncreasingTauLocalSGD
+	NewDecreasingTauLocalSGD = core.NewDecreasingTauLocalSGD
+	NewPostLocalSGD          = core.NewPostLocalSGD
+	NewLAG                   = core.NewLAG
+	// NewAdaptiveTheta implements the paper's §5 future-work proposal:
+	// a bandwidth-budget controller over Θ.
+	NewAdaptiveTheta = core.NewAdaptiveTheta
+)
+
+// Neural-network stack.
+type (
+	// Network is a flat-parameter feed-forward network.
+	Network = nn.Network
+	// Layer is one differentiable network stage.
+	Layer = nn.Layer
+	// Shape is an activation volume (H, W, C).
+	Shape = nn.Shape
+)
+
+var (
+	// NewNetwork wires layers into a network.
+	NewNetwork = nn.New
+	// Layer constructors.
+	NewDense         = nn.NewDense
+	NewConv2D        = nn.NewConv2D
+	NewMaxPool2D     = nn.NewMaxPool2D
+	NewAvgPool2D     = nn.NewAvgPool2D
+	NewGlobalAvgPool = nn.NewGlobalAvgPool
+	NewReLU          = nn.NewReLU
+	NewLeakyReLU     = nn.NewLeakyReLU
+	NewTanh          = nn.NewTanh
+	NewSigmoid       = nn.NewSigmoid
+	NewDropout       = nn.NewDropout
+	NewBatchNorm     = nn.NewBatchNorm
+	// NewDenseBlock builds DenseNet-style concatenation blocks.
+	NewDenseBlock = nn.NewDenseBlock
+)
+
+// Weight initialization schemes.
+const (
+	GlorotUniformInit = nn.GlorotUniformInit
+	HeNormalInit      = nn.HeNormalInit
+)
+
+// Optimizers.
+type Optimizer = opt.Optimizer
+
+var (
+	// NewSGD, NewSGDMomentum, NewSGDNesterov, NewAdam and NewAdamW return
+	// local-optimizer factories.
+	NewSGD         = opt.NewSGD
+	NewSGDMomentum = opt.NewSGDMomentum
+	NewSGDNesterov = opt.NewSGDNesterov
+	NewAdam        = opt.NewAdam
+	NewAdamW       = opt.NewAdamW
+)
+
+// Data: datasets, generators and partitioners.
+type (
+	// Dataset is an in-memory classification dataset.
+	Dataset = data.Dataset
+	// Heterogeneity selects the paper's data-distribution scenarios.
+	Heterogeneity = data.Heterogeneity
+	// SyntheticConfig parameterizes the synthetic task generator.
+	SyntheticConfig = data.SyntheticConfig
+)
+
+var (
+	// Synthetic generates a task from a config; MNISTLike/CIFAR10Like/
+	// CIFAR100Like are the presets used by the experiments.
+	Synthetic     = data.Synthetic
+	MNISTLike     = data.MNISTLike
+	CIFAR10Like   = data.CIFAR10Like
+	CIFAR100Like  = data.CIFAR100Like
+	FitNormalizer = data.FitNormalizer
+	// IID, NonIIDPercent, NonIIDLabel and NonIIDDirichlet name the
+	// heterogeneity scenarios (Dirichlet is the FL-literature extension).
+	IID             = data.IID
+	NonIIDPercent   = data.NonIIDPercent
+	NonIIDLabel     = data.NonIIDLabel
+	NonIIDDirichlet = data.NonIIDDirichlet
+)
+
+// Sketches (exposed for advanced monitoring uses).
+type (
+	// Sketcher carries shared AMS hash functions.
+	Sketcher = sketch.Sketcher
+	// Sketch is an l×m AMS sketch.
+	Sketch = sketch.Sketch
+)
+
+var (
+	// NewSketcher builds a sketcher; M2 estimates a squared norm.
+	NewSketcher = sketch.NewSketcher
+	M2          = sketch.M2
+)
+
+// Communication substrate.
+type (
+	// CostModel controls byte accounting of collectives.
+	CostModel = comm.CostModel
+	// NetworkProfile translates bytes to wall-time estimates.
+	NetworkProfile = comm.NetworkProfile
+)
+
+var (
+	// DefaultCostModel matches the paper's accounting.
+	DefaultCostModel = comm.DefaultCostModel
+	// Network profiles of Figure 12.
+	ProfileFL       = comm.ProfileFL
+	ProfileBalanced = comm.ProfileBalanced
+	ProfileHPC      = comm.ProfileHPC
+)
+
+// Compression codecs for the synchronization step.
+type (
+	// Codec compresses synchronized drifts.
+	Codec = compress.Codec
+	// TopK keeps the largest-magnitude fraction of components.
+	TopK = compress.TopK
+	// Quantize maps components onto 2^Bits uniform levels.
+	Quantize = compress.Quantize
+)
+
+// Model zoo (the scaled Table 2 architectures).
+type ModelSpec = models.Spec
+
+var (
+	// ModelCatalog lists the zoo; ModelByName fetches one entry.
+	ModelCatalog = models.Catalog
+	ModelByName  = models.ByName
+	// DatasetForModel generates a spec's workload.
+	DatasetForModel = models.DatasetFor
+	// Pretrain produces centrally trained weights (transfer learning).
+	Pretrain = models.Pretrain
+	// WithInit starts every replica from fixed weights.
+	WithInit = models.WithInit
+)
+
+// Checkpointing (model snapshots with CRC-verified binary encoding).
+type Snapshot = checkpoint.Snapshot
+
+var (
+	// SaveCheckpoint and LoadCheckpoint persist snapshots atomically.
+	SaveCheckpoint = checkpoint.Save
+	LoadCheckpoint = checkpoint.Load
+)
+
+// RNG re-exports the deterministic generator used throughout.
+type RNG = tensor.RNG
+
+// NewRNG returns a seeded deterministic generator.
+var NewRNG = tensor.NewRNG

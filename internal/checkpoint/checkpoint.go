@@ -1,0 +1,202 @@
+// Package checkpoint serializes flat model parameter vectors (and, more
+// generally, training snapshots) to a compact, versioned binary format.
+// A production deployment of FDA needs checkpoints in two places the
+// paper implies but does not spell out: resuming long federated training
+// runs, and shipping pre-trained weights into the transfer-learning
+// scenario (§4, Figure 13). The format is deliberately simple — header,
+// dimension, float64 payload, CRC — so any language can read it.
+package checkpoint
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"hash/crc64"
+	"io"
+	"math"
+	"os"
+)
+
+// magic identifies the file format; version gates layout changes.
+const (
+	magic   = 0xFDA0C4EC
+	version = 1
+)
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// Snapshot is a named training state: the flat parameter vector plus
+// bookkeeping an FDA run needs to resume (step counter and the model at
+// the last synchronization).
+type Snapshot struct {
+	// Step is the global step at which the snapshot was taken.
+	Step int64
+	// Params is the flat parameter vector w.
+	Params []float64
+	// W0 is the model at the most recent synchronization (may be nil for
+	// plain model checkpoints, in which case it is stored empty).
+	W0 []float64
+}
+
+// Write serializes s to w.
+func Write(w io.Writer, s *Snapshot) error {
+	bw := bufio.NewWriter(w)
+	crc := crc64.New(crcTable)
+	out := io.MultiWriter(bw, crc)
+
+	writeU64 := func(v uint64) error {
+		var buf [8]byte
+		binary.LittleEndian.PutUint64(buf[:], v)
+		_, err := out.Write(buf[:])
+		return err
+	}
+	writeVec := func(v []float64) error {
+		if err := writeU64(uint64(len(v))); err != nil {
+			return err
+		}
+		var buf [8]byte
+		for _, x := range v {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(x))
+			if _, err := out.Write(buf[:]); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	if err := writeU64(magic); err != nil {
+		return err
+	}
+	if err := writeU64(version); err != nil {
+		return err
+	}
+	if err := writeU64(uint64(s.Step)); err != nil {
+		return err
+	}
+	if err := writeVec(s.Params); err != nil {
+		return err
+	}
+	if err := writeVec(s.W0); err != nil {
+		return err
+	}
+	// Trailer: CRC64 of everything written so far (not itself CRC'd).
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], crc.Sum64())
+	if _, err := bw.Write(buf[:]); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// Read deserializes a snapshot from r, verifying magic, version and CRC.
+func Read(r io.Reader) (*Snapshot, error) {
+	br := bufio.NewReader(r)
+	crc := crc64.New(crcTable)
+	in := io.TeeReader(br, crc)
+
+	readU64 := func() (uint64, error) {
+		var buf [8]byte
+		if _, err := io.ReadFull(in, buf[:]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(buf[:]), nil
+	}
+	readVec := func() ([]float64, error) {
+		n, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		const maxLen = 1 << 30 // 8 GiB of float64s; reject corrupt headers
+		if n > maxLen {
+			return nil, fmt.Errorf("checkpoint: implausible vector length %d", n)
+		}
+		v := make([]float64, n)
+		var buf [8]byte
+		for i := range v {
+			if _, err := io.ReadFull(in, buf[:]); err != nil {
+				return nil, err
+			}
+			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+		}
+		return v, nil
+	}
+
+	m, err := readU64()
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("checkpoint: bad magic %#x", m)
+	}
+	ver, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	if ver != version {
+		return nil, fmt.Errorf("checkpoint: unsupported version %d", ver)
+	}
+	step, err := readU64()
+	if err != nil {
+		return nil, err
+	}
+	params, err := readVec()
+	if err != nil {
+		return nil, err
+	}
+	w0, err := readVec()
+	if err != nil {
+		return nil, err
+	}
+	want := crc.Sum64()
+	var buf [8]byte
+	if _, err := io.ReadFull(br, buf[:]); err != nil {
+		return nil, fmt.Errorf("checkpoint: reading CRC: %w", err)
+	}
+	if got := binary.LittleEndian.Uint64(buf[:]); got != want {
+		return nil, fmt.Errorf("checkpoint: CRC mismatch: file %#x computed %#x", got, want)
+	}
+	s := &Snapshot{Step: int64(step), Params: params}
+	if len(w0) > 0 {
+		s.W0 = w0
+	}
+	return s, nil
+}
+
+// Save writes a snapshot to path atomically (write to a temp file in the
+// same directory, then rename).
+func Save(path string, s *Snapshot) error {
+	tmp, err := os.CreateTemp(dirOf(path), ".ckpt-*")
+	if err != nil {
+		return err
+	}
+	tmpName := tmp.Name()
+	if err := Write(tmp, s); err != nil {
+		tmp.Close()
+		os.Remove(tmpName)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmpName)
+		return err
+	}
+	return os.Rename(tmpName, path)
+}
+
+// Load reads a snapshot from path.
+func Load(path string) (*Snapshot, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(f)
+}
+
+func dirOf(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[:i]
+		}
+	}
+	return "."
+}

@@ -1,0 +1,145 @@
+package checkpoint
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func sampleSnapshot(n int, seed uint64) *Snapshot {
+	rng := tensor.NewRNG(seed)
+	params := make([]float64, n)
+	tensor.Normal(rng, params, 0, 1)
+	w0 := make([]float64, n)
+	tensor.Normal(rng, w0, 0, 1)
+	return &Snapshot{Step: 1234, Params: params, W0: w0}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s := sampleSnapshot(257, 1)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != s.Step {
+		t.Fatalf("step %d want %d", got.Step, s.Step)
+	}
+	for i := range s.Params {
+		if got.Params[i] != s.Params[i] || got.W0[i] != s.W0[i] {
+			t.Fatalf("payload mismatch at %d", i)
+		}
+	}
+}
+
+func TestRoundTripWithoutW0(t *testing.T) {
+	s := &Snapshot{Step: 1, Params: []float64{1, 2, 3}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.W0 != nil {
+		t.Fatalf("expected nil W0, got %v", got.W0)
+	}
+}
+
+func TestCorruptionDetected(t *testing.T) {
+	s := sampleSnapshot(64, 2)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[40] ^= 0x01 // flip one payload bit
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted checkpoint accepted")
+	}
+}
+
+func TestBadMagicRejected(t *testing.T) {
+	if _, err := Read(bytes.NewReader(make([]byte, 64))); err == nil {
+		t.Fatal("zero stream accepted")
+	}
+}
+
+func TestTruncationDetected(t *testing.T) {
+	s := sampleSnapshot(64, 3)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()[:buf.Len()-9]
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("truncated checkpoint accepted")
+	}
+}
+
+func TestSaveLoadAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "model.ckpt")
+	s := sampleSnapshot(100, 4)
+	if err := Save(path, s); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Step != s.Step || len(got.Params) != 100 {
+		t.Fatalf("loaded %+v", got)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("stray files: %v", entries)
+	}
+}
+
+func TestLoadMissingFile(t *testing.T) {
+	if _, err := Load(filepath.Join(t.TempDir(), "nope.ckpt")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+}
+
+// Property: every (step, params) round-trips bit-exactly, including
+// special values that survive the float64 bit-pattern encoding.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(step uint32, params [9]float64) bool {
+		s := &Snapshot{Step: int64(step), Params: params[:]}
+		var buf bytes.Buffer
+		if err := Write(&buf, s); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Step != int64(step) {
+			return false
+		}
+		for i := range params {
+			// Compare bit patterns so NaN round-trips count as equal.
+			if (got.Params[i] != params[i]) && !(got.Params[i] != got.Params[i] && params[i] != params[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,226 @@
+// Package comm simulates the communication fabric of a K-worker training
+// cluster: an averaging AllReduce (the paper's only collective), a
+// byte-accurate cost meter, and network profiles for translating bytes
+// into estimated wall-clock time.
+//
+// The paper's hardware (44 GPU nodes on InfiniBand, MPI AllReduce) is
+// replaced by an in-process simulation. This is a faithful substitution
+// for the paper's evaluation because its two metrics — total bytes
+// transmitted by all workers, and in-parallel learning steps — are
+// counted, not timed; the simulation counts them exactly. A concurrent
+// goroutine-based ring AllReduce is also provided (see ring.go) and tested
+// to produce the same averages as the sequential reference.
+package comm
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/tensor"
+)
+
+// CostModel controls how AllReduce operations are charged.
+type CostModel struct {
+	// BytesPerParam is the wire size of one tensor element. The paper
+	// transmits float32 models, so the default (see DefaultCostModel) is 4
+	// even though the simulation computes in float64.
+	BytesPerParam int
+	// Ring selects ring-AllReduce accounting: each worker sends
+	// 2(K−1)/K × payload bytes per operation. When false, the naive model
+	// charges each worker the full payload (send to aggregation).
+	Ring bool
+}
+
+// DefaultCostModel matches the paper's accounting assumptions.
+func DefaultCostModel() CostModel {
+	return CostModel{BytesPerParam: 4, Ring: true}
+}
+
+// PerWorkerBytes returns how many bytes one worker transmits for an
+// AllReduce over a payload of n elements in a K-worker cluster.
+func (cm CostModel) PerWorkerBytes(n, k int) int64 {
+	payload := int64(n) * int64(cm.BytesPerParam)
+	if !cm.Ring || k <= 1 {
+		return payload
+	}
+	// Ring all-reduce: reduce-scatter + all-gather, each moving
+	// (K−1)/K of the payload per worker.
+	return 2 * payload * int64(k-1) / int64(k)
+}
+
+// TotalBytes returns the cluster-wide bytes for one AllReduce, i.e. the
+// per-worker cost times K — the paper's "total data transmitted by all
+// workers".
+func (cm CostModel) TotalBytes(n, k int) int64 {
+	return cm.PerWorkerBytes(n, k) * int64(k)
+}
+
+// Meter accumulates communication statistics, keyed by operation kind
+// (for example "state" vs "model"), so experiments can report how much of
+// the traffic was monitoring overhead versus synchronization.
+type Meter struct {
+	mu    sync.Mutex
+	bytes map[string]int64
+	ops   map[string]int64
+}
+
+// NewMeter returns an empty meter.
+func NewMeter() *Meter {
+	return &Meter{bytes: map[string]int64{}, ops: map[string]int64{}}
+}
+
+// Charge records one operation of the given kind costing b bytes.
+func (m *Meter) Charge(kind string, b int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bytes[kind] += b
+	m.ops[kind]++
+}
+
+// TotalBytes returns the bytes across all kinds.
+func (m *Meter) TotalBytes() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var t int64
+	for _, b := range m.bytes {
+		t += b
+	}
+	return t
+}
+
+// BytesFor returns the bytes charged to one kind.
+func (m *Meter) BytesFor(kind string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.bytes[kind]
+}
+
+// OpsFor returns the operation count for one kind.
+func (m *Meter) OpsFor(kind string) int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.ops[kind]
+}
+
+// Kinds returns the sorted set of operation kinds seen so far.
+func (m *Meter) Kinds() []string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]string, 0, len(m.bytes))
+	for k := range m.bytes {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Reset clears all counters.
+func (m *Meter) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bytes = map[string]int64{}
+	m.ops = map[string]int64{}
+}
+
+// Cluster is a simulated group of K workers sharing an AllReduce fabric.
+type Cluster struct {
+	K     int
+	Cost  CostModel
+	Meter *Meter
+	// Concurrent selects the goroutine ring implementation for vector
+	// AllReduce; the sequential reference is the default (it is faster at
+	// simulation scale on a single core and bit-identical in accounting).
+	Concurrent bool
+}
+
+// NewCluster returns a cluster of k workers with the default cost model.
+func NewCluster(k int) *Cluster {
+	if k <= 0 {
+		panic(fmt.Sprintf("comm: non-positive cluster size %d", k))
+	}
+	return &Cluster{K: k, Cost: DefaultCostModel(), Meter: NewMeter()}
+}
+
+// AllReduce averages the K equal-length vectors in place: after the call
+// every vecs[i] holds the element-wise mean. The operation is charged to
+// the meter under kind. This models MPI_Allreduce(MPI_SUM)/K with the
+// result replacing each worker's buffer, exactly the paper's
+// synchronization primitive w^(k) ← w̄.
+func (c *Cluster) AllReduce(kind string, vecs [][]float64) {
+	if len(vecs) != c.K {
+		panic(fmt.Sprintf("comm: AllReduce over %d vectors in a %d-worker cluster", len(vecs), c.K))
+	}
+	n := len(vecs[0])
+	for i, v := range vecs {
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: AllReduce ragged vector %d: %d != %d", i, len(v), n))
+		}
+	}
+	if c.Concurrent {
+		ringAllReduce(vecs)
+	} else {
+		mean := make([]float64, n)
+		tensor.Mean(mean, vecs...)
+		for _, v := range vecs {
+			copy(v, mean)
+		}
+	}
+	c.Meter.Charge(kind, c.Cost.TotalBytes(n, c.K))
+}
+
+// AllReduceMean averages the vectors into dst without modifying them,
+// charging the same cost as AllReduce. This models the aggregation of
+// local states S̄ = AllReduce(S^(k)) where workers keep their own states.
+func (c *Cluster) AllReduceMean(kind string, dst []float64, vecs [][]float64) {
+	if len(vecs) != c.K {
+		panic(fmt.Sprintf("comm: AllReduceMean over %d vectors in a %d-worker cluster", len(vecs), c.K))
+	}
+	tensor.Mean(dst, vecs...)
+	c.Meter.Charge(kind, c.Cost.TotalBytes(len(dst), c.K))
+}
+
+// AllReduceScalars averages one scalar per worker, charging a 1-element
+// AllReduce.
+func (c *Cluster) AllReduceScalars(kind string, xs []float64) float64 {
+	if len(xs) != c.K {
+		panic("comm: AllReduceScalars arity mismatch")
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	c.Meter.Charge(kind, c.Cost.TotalBytes(1, c.K))
+	return s / float64(len(xs))
+}
+
+// NetworkProfile translates metered bytes and step counts into estimated
+// wall-clock time for a deployment scenario (paper §4.3, Figure 12).
+type NetworkProfile struct {
+	Name string
+	// BandwidthBps is the per-link usable bandwidth in bits per second.
+	BandwidthBps float64
+	// LatencySec is the fixed per-collective overhead.
+	LatencySec float64
+}
+
+// The three settings of Figure 12.
+var (
+	// ProfileFL models a federated deployment on a shared 0.5 Gbps channel.
+	ProfileFL = NetworkProfile{Name: "FL", BandwidthBps: 0.5e9, LatencySec: 20e-3}
+	// ProfileBalanced sits between the federated and HPC regimes.
+	ProfileBalanced = NetworkProfile{Name: "Balanced", BandwidthBps: 10e9, LatencySec: 1e-3}
+	// ProfileHPC models the paper's ARIS InfiniBand FDR14 fabric (56 Gb/s).
+	ProfileHPC = NetworkProfile{Name: "ARIS-HPC", BandwidthBps: 56e9, LatencySec: 5e-6}
+)
+
+// CommTime estimates the wall-clock seconds spent communicating given a
+// meter: transmitted bits over bandwidth plus per-operation latency.
+func (p NetworkProfile) CommTime(m *Meter) float64 {
+	var ops int64
+	for _, k := range m.Kinds() {
+		ops += m.OpsFor(k)
+	}
+	bits := float64(m.TotalBytes()) * 8
+	return bits/p.BandwidthBps + float64(ops)*p.LatencySec
+}

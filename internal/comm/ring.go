@@ -1,0 +1,78 @@
+package comm
+
+import "sync"
+
+// ringAllReduce performs an in-place averaging AllReduce across the K
+// vectors using the classic two-phase ring algorithm (reduce-scatter then
+// all-gather), with one goroutine per simulated worker and buffered
+// channels as links. It exists to demonstrate and test that the simulated
+// collective matches a real distributed implementation; the sequential
+// path in Cluster.AllReduce is numerically equivalent (up to FP rounding
+// order) and is the default for speed.
+func ringAllReduce(vecs [][]float64) {
+	k := len(vecs)
+	if k == 1 {
+		return
+	}
+	n := len(vecs[0])
+
+	// Partition indices into k chunks.
+	bounds := make([]int, k+1)
+	for i := 0; i <= k; i++ {
+		bounds[i] = i * n / k
+	}
+	chunk := func(v []float64, c int) []float64 {
+		c = ((c % k) + k) % k
+		return v[bounds[c]:bounds[c+1]]
+	}
+
+	// links[i] carries messages from worker i to worker (i+1)%k.
+	links := make([]chan []float64, k)
+	for i := range links {
+		links[i] = make(chan []float64, 1)
+	}
+
+	var wg sync.WaitGroup
+	wg.Add(k)
+	for w := 0; w < k; w++ {
+		go func(w int) {
+			defer wg.Done()
+			prev := links[(w-1+k)%k]
+			next := links[w]
+
+			// Reduce-scatter: after k−1 rounds worker w holds the full sum
+			// for chunk (w+1) mod k.
+			for r := 0; r < k-1; r++ {
+				sendIdx := w - r
+				out := chunk(vecs[w], sendIdx)
+				buf := make([]float64, len(out))
+				copy(buf, out)
+				next <- buf
+				in := <-prev
+				recvIdx := w - r - 1
+				dst := chunk(vecs[w], recvIdx)
+				for i := range dst {
+					dst[i] += in[i]
+				}
+			}
+			// Average the owned chunk before gathering.
+			owned := chunk(vecs[w], w+1)
+			inv := 1 / float64(k)
+			for i := range owned {
+				owned[i] *= inv
+			}
+			// All-gather: circulate the finished chunks.
+			for r := 0; r < k-1; r++ {
+				sendIdx := w + 1 - r
+				out := chunk(vecs[w], sendIdx)
+				buf := make([]float64, len(out))
+				copy(buf, out)
+				next <- buf
+				in := <-prev
+				recvIdx := w - r
+				copy(chunk(vecs[w], recvIdx), in)
+			}
+		}(w)
+	}
+	wg.Wait()
+}

@@ -1,0 +1,191 @@
+package compress
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/tensor"
+)
+
+func TestTopKKeepsLargest(t *testing.T) {
+	v := []float64{0.1, -5, 2, 0.01, -3}
+	dst := make([]float64, 5)
+	bytes := TopK{Fraction: 0.4}.Roundtrip(dst, v)
+	if bytes != 2*8 {
+		t.Fatalf("wire = %d want 16", bytes)
+	}
+	want := []float64{0, -5, 0, 0, -3}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("dst = %v", dst)
+		}
+	}
+}
+
+func TestTopKFullFractionIsIdentity(t *testing.T) {
+	v := []float64{1, 2, 3}
+	dst := make([]float64, 3)
+	TopK{Fraction: 1}.Roundtrip(dst, v)
+	for i := range v {
+		if dst[i] != v[i] {
+			t.Fatalf("dst = %v", dst)
+		}
+	}
+}
+
+func TestTopKAliasedDst(t *testing.T) {
+	v := []float64{3, 1, 2, 0.5}
+	TopK{Fraction: 0.5}.Roundtrip(v, v)
+	want := []float64{3, 0, 2, 0}
+	for i := range want {
+		if v[i] != want[i] {
+			t.Fatalf("aliased roundtrip = %v", v)
+		}
+	}
+}
+
+func TestTopKValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	TopK{Fraction: 0}.Roundtrip(make([]float64, 2), []float64{1, 2})
+}
+
+func TestQuantizeRoundtripError(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	v := make([]float64, 1000)
+	tensor.Normal(rng, v, 0, 1)
+	dst := make([]float64, 1000)
+	bytes := Quantize{Bits: 8}.Roundtrip(dst, v)
+	if bytes != 1000+8 {
+		t.Fatalf("wire = %d", bytes)
+	}
+	// 8-bit quantization over roughly ±4σ: per-component error below one
+	// quantization step.
+	lo, hi := v[0], v[0]
+	for _, x := range v {
+		lo = math.Min(lo, x)
+		hi = math.Max(hi, x)
+	}
+	step := (hi - lo) / 255
+	for i := range v {
+		if math.Abs(dst[i]-v[i]) > step/2+1e-12 {
+			t.Fatalf("component %d error %v exceeds half step %v", i, dst[i]-v[i], step/2)
+		}
+	}
+}
+
+func TestQuantizeConstantVector(t *testing.T) {
+	v := []float64{2, 2, 2}
+	dst := make([]float64, 3)
+	Quantize{Bits: 4}.Roundtrip(dst, v)
+	for i := range v {
+		if dst[i] != 2 {
+			t.Fatalf("constant roundtrip = %v", dst)
+		}
+	}
+}
+
+func TestQuantizeValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Quantize{Bits: 0}.Roundtrip(make([]float64, 1), []float64{1})
+}
+
+func TestQuantizeEmpty(t *testing.T) {
+	if got := (Quantize{Bits: 8}).Roundtrip(nil, nil); got != 8 {
+		t.Fatalf("empty wire = %d", got)
+	}
+}
+
+func TestChainComposes(t *testing.T) {
+	c := Chain{Stages: []Codec{TopK{Fraction: 0.5}, Quantize{Bits: 8}}}
+	if c.Name() != "top50%+q8bit" {
+		t.Fatalf("name = %q", c.Name())
+	}
+	v := []float64{4, 0.1, -3, 0.2}
+	dst := make([]float64, 4)
+	c.Roundtrip(dst, v)
+	// The small components are zeroed by the top-k stage; after
+	// quantization they land on the grid level nearest zero (within one
+	// quantization step of it).
+	step := 7.0 / 255
+	if math.Abs(dst[1]) > step || math.Abs(dst[3]) > step {
+		t.Fatalf("chain did not sparsify: %v", dst)
+	}
+	// The large ones survive approximately.
+	if math.Abs(dst[0]-4) > 0.1 || math.Abs(dst[2]+3) > 0.1 {
+		t.Fatalf("chain mangled large components: %v", dst)
+	}
+}
+
+func TestChainEmptyIsDense(t *testing.T) {
+	c := Chain{}
+	v := []float64{1, 2}
+	dst := make([]float64, 2)
+	if got := c.Roundtrip(dst, v); got != 8 {
+		t.Fatalf("empty chain wire = %d", got)
+	}
+	if dst[0] != 1 || dst[1] != 2 {
+		t.Fatal("empty chain should copy")
+	}
+}
+
+// Property: quantization never moves a component outside the input range.
+func TestQuantizeRangeProperty(t *testing.T) {
+	f := func(raw [16]float64, bitsRaw uint8) bool {
+		bits := int(bitsRaw%16) + 1
+		v := make([]float64, 16)
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, x := range raw {
+			v[i] = math.Mod(x, 100)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+			lo = math.Min(lo, v[i])
+			hi = math.Max(hi, v[i])
+		}
+		dst := make([]float64, 16)
+		Quantize{Bits: bits}.Roundtrip(dst, v)
+		for _, x := range dst {
+			if x < lo-1e-9 || x > hi+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: top-k preserves the largest-magnitude component exactly.
+func TestTopKPreservesMaxProperty(t *testing.T) {
+	f := func(raw [12]float64) bool {
+		v := make([]float64, 12)
+		for i, x := range raw {
+			v[i] = math.Mod(x, 50)
+			if math.IsNaN(v[i]) {
+				v[i] = 0
+			}
+		}
+		best := 0
+		for i := range v {
+			if math.Abs(v[i]) > math.Abs(v[best]) {
+				best = i
+			}
+		}
+		dst := make([]float64, 12)
+		TopK{Fraction: 0.25}.Roundtrip(dst, v)
+		return dst[best] == v[best]
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,249 @@
+package core
+
+import (
+	"container/heap"
+	"fmt"
+
+	"repro/internal/sketch"
+	"repro/internal/tensor"
+)
+
+// This file implements the asynchronous FDA operation sketched in §3.3:
+// one worker-node acts as a coordinator, aggregating local states and
+// deciding on synchronization every time a state arrives, based on the
+// most recent states from all workers. The paper notes the primary
+// benefit is tolerance to stragglers, so the simulation models per-worker
+// speeds explicitly and advances a virtual clock with an event queue.
+
+// AsyncConfig extends Config for the asynchronous runner.
+type AsyncConfig struct {
+	Config
+	// Speeds holds one relative step rate per worker (1.0 = nominal).
+	// A worker with speed 0.5 takes twice as long per local step. Nil
+	// means all workers run at speed 1.
+	Speeds []float64
+	// Theta is the variance threshold Θ.
+	Theta float64
+	// UseSketch selects the AMS-sketch estimator; false uses the linear
+	// two-scalar estimator with the drift heuristic ξ.
+	UseSketch bool
+	// MaxVirtualTime optionally caps the simulated clock (0 = no cap).
+	MaxVirtualTime float64
+}
+
+// AsyncResult augments Result with per-worker progress and the virtual
+// clock, the quantities that show straggler tolerance.
+type AsyncResult struct {
+	Result
+	// StepsPerWorker records each worker's local step count at the end;
+	// under synchronous operation these would all equal Result.Steps.
+	StepsPerWorker []int
+	// VirtualTime is the simulated clock at the end of the run.
+	VirtualTime float64
+}
+
+// stepEvent is one worker's next step completion in virtual time.
+type stepEvent struct {
+	at     float64
+	worker int
+}
+
+type eventQueue []stepEvent
+
+func (q eventQueue) Len() int            { return len(q) }
+func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(stepEvent)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	ev := old[n-1]
+	*q = old[:n-1]
+	return ev
+}
+
+// RunAsync executes asynchronous FDA. Each worker trains at its own speed;
+// after every local step it sends its small state to the coordinator
+// (charged one-way), which re-evaluates H over the latest states from all
+// workers and, when H > Θ, performs a model synchronization (gather +
+// broadcast, charged as 2d per worker under the naive model or the ring
+// cost otherwise).
+func RunAsync(ac AsyncConfig) (AsyncResult, error) {
+	cfg := ac.Config.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return AsyncResult{}, err
+	}
+	if ac.Theta < 0 {
+		return AsyncResult{}, fmt.Errorf("core: negative Θ %v", ac.Theta)
+	}
+	speeds := ac.Speeds
+	if speeds == nil {
+		speeds = make([]float64, cfg.K)
+		for i := range speeds {
+			speeds[i] = 1
+		}
+	}
+	if len(speeds) != cfg.K {
+		return AsyncResult{}, fmt.Errorf("core: %d speeds for %d workers", len(speeds), cfg.K)
+	}
+	for i, s := range speeds {
+		if s <= 0 {
+			return AsyncResult{}, fmt.Errorf("core: worker %d speed %v", i, s)
+		}
+	}
+
+	root := tensor.NewRNG(cfg.Seed)
+	initNet := cfg.Model(root.Split())
+	w0 := tensor.Clone(initNet.Params())
+	d := initNet.NumParams()
+	shards := cfg.Het.Partition(cfg.Train, cfg.K, root.Split())
+
+	cluster := newAsyncCluster(cfg, d)
+	workers := make([]*Worker, cfg.K)
+	for k := range workers {
+		net := cfg.Model(root.Split())
+		net.SetParams(w0)
+		workers[k] = &Worker{
+			ID: k, Net: net, Opt: cfg.Optimizer(), Shard: shards[k],
+			drift: make([]float64, d),
+		}
+		workers[k].sampler = newSampler(shards[k], root.Split())
+	}
+
+	// Estimator state held by the coordinator.
+	var sk *sketch.Sketcher
+	var skBuf *sketch.Sketch
+	stateDim := 2
+	epsilon := 0.06
+	if ac.UseSketch {
+		sk = sketch.NewSketcher(5, 250, cfg.Seed^0xa57c)
+		sk.Precompute(d)
+		skBuf = sk.NewSketch()
+		stateDim = 1 + 5*250
+	}
+	latest := make([][]float64, cfg.K) // coordinator's latest state per worker
+	for i := range latest {
+		latest[i] = make([]float64, stateDim)
+	}
+	xi := make([]float64, d)
+	wPrev := []float64(nil)
+
+	computeState := func(w *Worker, dst []float64) {
+		u := w.Drift(w0)
+		dst[0] = tensor.SquaredNorm(u)
+		if ac.UseSketch {
+			sk.SketchVec(skBuf, u)
+			copy(dst[1:], skBuf.Data)
+		} else {
+			dst[1] = tensor.Dot(xi, u)
+		}
+	}
+	estimate := func() float64 {
+		mean := make([]float64, stateDim)
+		tensor.Mean(mean, latest...)
+		if ac.UseSketch {
+			copy(skBuf.Data, mean[1:])
+			return mean[0] - sketch.M2(skBuf)/(1+epsilon)
+		}
+		return mean[0] - mean[1]*mean[1]
+	}
+
+	evalNet := cfg.Model(root.Split())
+	globalParams := make([]float64, d)
+	views := make([][]float64, cfg.K)
+	for i, w := range workers {
+		views[i] = w.Net.Params()
+	}
+
+	res := AsyncResult{StepsPerWorker: make([]int, cfg.K)}
+	res.Strategy = "AsyncFDA"
+	if ac.UseSketch {
+		res.Strategy = "AsyncSketchFDA"
+	}
+
+	var q eventQueue
+	for k := 0; k < cfg.K; k++ {
+		heap.Push(&q, stepEvent{at: 1 / speeds[k], worker: k})
+	}
+
+	totalSteps := 0
+	maxTotal := cfg.MaxSteps * cfg.K
+	evalCounter := 0
+	trainLen := float64(cfg.Train.Len())
+
+	for totalSteps < maxTotal {
+		ev := heap.Pop(&q).(stepEvent)
+		if ac.MaxVirtualTime > 0 && ev.at > ac.MaxVirtualTime {
+			break
+		}
+		res.VirtualTime = ev.at
+		w := workers[ev.worker]
+		w.LocalStep(cfg.BatchSize)
+		res.StepsPerWorker[ev.worker]++
+		totalSteps++
+
+		// Worker → coordinator state upload (one-way, small).
+		computeState(w, latest[ev.worker])
+		cluster.meterStateUpload(stateDim)
+
+		if estimate() > ac.Theta {
+			// Coordinator-led synchronization: gather all models, average,
+			// broadcast. After it, every drift and state is zero.
+			wPrev = w0
+			tensor.Mean(globalParams, views...)
+			for _, wk := range workers {
+				wk.Net.SetParams(globalParams)
+			}
+			w0 = tensor.Clone(globalParams)
+			cluster.meterModelSync()
+			res.SyncCount++
+			for i := range latest {
+				tensor.Zero(latest[i])
+			}
+			if !ac.UseSketch && wPrev != nil {
+				tensor.Sub(xi, w0, wPrev)
+				if tensor.Normalize(xi) == 0 {
+					tensor.Zero(xi)
+				}
+			}
+		}
+
+		evalCounter++
+		if evalCounter%(cfg.EvalEvery*cfg.K) == 0 {
+			tensor.Mean(globalParams, views...)
+			evalNet.SetParams(globalParams)
+			acc := evalNet.Accuracy(cfg.Test)
+			res.History = append(res.History, Point{
+				Step:      totalSteps / cfg.K,
+				Epoch:     float64(totalSteps) * float64(cfg.BatchSize) / trainLen,
+				TestAcc:   acc,
+				CommBytes: cluster.meter.TotalBytes(),
+				SyncCount: res.SyncCount,
+			})
+			res.FinalTestAcc = acc
+			if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy {
+				res.ReachedTarget = true
+				break
+			}
+		}
+
+		heap.Push(&q, stepEvent{at: ev.at + 1/speeds[ev.worker], worker: ev.worker})
+	}
+
+	res.Steps = maxInts(res.StepsPerWorker)
+	res.Epochs = float64(totalSteps) * float64(cfg.BatchSize) / trainLen
+	res.CommBytes = cluster.meter.TotalBytes()
+	res.StateBytes = cluster.meter.BytesFor("state")
+	res.ModelBytes = cluster.meter.BytesFor("model")
+	return res, nil
+}
+
+func maxInts(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,126 @@
+package core
+
+import (
+	"testing"
+)
+
+func asyncConfig(seed uint64) AsyncConfig {
+	return AsyncConfig{
+		Config: testConfig(seed),
+		Theta:  0.1,
+	}
+}
+
+func TestAsyncRunsAndTrains(t *testing.T) {
+	ac := asyncConfig(1)
+	ac.MaxSteps = 120
+	res, err := RunAsync(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SyncCount == 0 {
+		t.Fatal("async FDA never synchronized")
+	}
+	if res.FinalTestAcc < 0.5 {
+		t.Fatalf("async accuracy %v", res.FinalTestAcc)
+	}
+}
+
+func TestAsyncEqualSpeedsBalanceSteps(t *testing.T) {
+	ac := asyncConfig(2)
+	ac.MaxSteps = 60
+	res, err := RunAsync(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	minS, maxS := res.StepsPerWorker[0], res.StepsPerWorker[0]
+	for _, s := range res.StepsPerWorker {
+		if s < minS {
+			minS = s
+		}
+		if s > maxS {
+			maxS = s
+		}
+	}
+	if maxS-minS > 1 {
+		t.Fatalf("equal speeds but steps spread %v", res.StepsPerWorker)
+	}
+}
+
+func TestAsyncStragglersKeepTrainingProportionally(t *testing.T) {
+	ac := asyncConfig(3)
+	ac.MaxSteps = 100
+	ac.Speeds = []float64{1, 1, 1, 1, 0.25} // one 4× slower straggler
+	res, err := RunAsync(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := res.StepsPerWorker[0]
+	slow := res.StepsPerWorker[4]
+	if slow == 0 {
+		t.Fatal("straggler made no progress")
+	}
+	ratio := float64(fast) / float64(slow)
+	if ratio < 3 || ratio > 5.5 {
+		t.Fatalf("fast/slow step ratio %v want ≈ 4 (steps %v)", ratio, res.StepsPerWorker)
+	}
+}
+
+func TestAsyncSketchVariant(t *testing.T) {
+	ac := asyncConfig(4)
+	ac.MaxSteps = 60
+	ac.UseSketch = true
+	res, err := RunAsync(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Strategy != "AsyncSketchFDA" {
+		t.Fatalf("strategy %q", res.Strategy)
+	}
+	if res.SyncCount == 0 {
+		t.Fatal("sketch variant never synced")
+	}
+}
+
+func TestAsyncValidation(t *testing.T) {
+	ac := asyncConfig(5)
+	ac.Speeds = []float64{1, 1} // wrong arity for K=5
+	if _, err := RunAsync(ac); err == nil {
+		t.Fatal("expected speeds arity error")
+	}
+	ac = asyncConfig(5)
+	ac.Speeds = []float64{1, 1, 1, 1, 0}
+	if _, err := RunAsync(ac); err == nil {
+		t.Fatal("expected non-positive speed error")
+	}
+	ac = asyncConfig(5)
+	ac.Theta = -1
+	if _, err := RunAsync(ac); err == nil {
+		t.Fatal("expected negative theta error")
+	}
+}
+
+func TestAsyncVirtualTimeAdvances(t *testing.T) {
+	ac := asyncConfig(6)
+	ac.MaxSteps = 40
+	res, err := RunAsync(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.VirtualTime <= 0 {
+		t.Fatalf("virtual time %v", res.VirtualTime)
+	}
+}
+
+func TestAsyncTargetStopsEarly(t *testing.T) {
+	ac := asyncConfig(7)
+	ac.TargetAccuracy = 0.5
+	ac.MaxSteps = 400
+	res, err := RunAsync(ac)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.ReachedTarget {
+		t.Fatal("target not reached")
+	}
+}

@@ -1,0 +1,193 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Synchronous is the bulk-synchronous-parallel baseline: the models are
+// AllReduce-averaged after every learning step. The paper notes it is the
+// Θ=0 special case of Algorithm 1 (footnote 3); no monitoring state is
+// needed because synchronization is unconditional.
+type Synchronous struct{}
+
+// NewSynchronous returns the BSP baseline.
+func NewSynchronous() *Synchronous { return &Synchronous{} }
+
+// Name implements Strategy.
+func (s *Synchronous) Name() string { return "Synchronous" }
+
+// Init implements Strategy.
+func (s *Synchronous) Init(_ *Env) {}
+
+// AfterLocalStep implements Strategy.
+func (s *Synchronous) AfterLocalStep(env *Env, _ int) { env.SyncModels() }
+
+// LocalSGD synchronizes every Tau steps regardless of training state —
+// the fixed-schedule family FDA argues against (related work §2).
+type LocalSGD struct {
+	Tau int
+}
+
+// NewLocalSGD returns the fixed-τ Local-SGD baseline.
+func NewLocalSGD(tau int) *LocalSGD {
+	if tau <= 0 {
+		panic(fmt.Sprintf("core: LocalSGD τ = %d", tau))
+	}
+	return &LocalSGD{Tau: tau}
+}
+
+// Name implements Strategy.
+func (l *LocalSGD) Name() string { return fmt.Sprintf("LocalSGD(τ=%d)", l.Tau) }
+
+// Init implements Strategy.
+func (l *LocalSGD) Init(_ *Env) {}
+
+// AfterLocalStep implements Strategy.
+func (l *LocalSGD) AfterLocalStep(env *Env, t int) {
+	if t%l.Tau == 0 {
+		env.SyncModels()
+	}
+}
+
+// FedOpt is the federated-optimization family (Reddi et al.): workers run
+// E local epochs between rounds; at a round boundary the server forms the
+// pseudo-gradient Δ = w_t0 − w̄ (the negated average local progress) and
+// applies a server optimizer to the global model, which is then broadcast.
+//
+//   - Server SGD with momentum 0.9       ⇒ FedAvgM (paper's baseline for
+//     the SGD-NM experiments)
+//   - Server Adam                        ⇒ FedAdam (baseline for the Adam
+//     experiments)
+//   - Server plain SGD with lr 1        ⇒ FedAvg
+//
+// Communication per round is one model AllReduce, identical in size to an
+// FDA synchronization; FedOpt simply spaces them on a fixed schedule.
+type FedOpt struct {
+	name string
+	// E is the number of local epochs per round (the paper uses E=1).
+	E int
+	// ServerOpt updates the global model from the pseudo-gradient.
+	ServerOpt opt.Optimizer
+
+	roundSteps int // steps per round, derived from shard sizes
+	global     []float64
+	pseudoGrad []float64
+}
+
+// NewFedAvg returns plain federated averaging with E local epochs.
+func NewFedAvg(e int) *FedOpt {
+	return newFedOpt("FedAvg", e, &opt.SGD{LR: 1})
+}
+
+// NewFedAvgM returns FedAvgM: server SGD with momentum. The paper's server
+// settings are momentum 0.9 and learning rate 0.316.
+func NewFedAvgM(e int) *FedOpt {
+	return newFedOpt("FedAvgM", e, &opt.Momentum{LR: 0.316, Mu: 0.9})
+}
+
+// NewFedAdam returns FedAdam: server Adam with the reference defaults
+// (lr 1e-2, τ-adaptivity via epsilon 1e-3 as in Reddi et al.).
+func NewFedAdam(e int) *FedOpt {
+	return newFedOpt("FedAdam", e, &opt.Adam{LR: 1e-2, Beta1: 0.9, Beta2: 0.999, Eps: 1e-3})
+}
+
+func newFedOpt(name string, e int, server opt.Optimizer) *FedOpt {
+	if e <= 0 {
+		panic(fmt.Sprintf("core: FedOpt E = %d", e))
+	}
+	return &FedOpt{name: name, E: e, ServerOpt: server}
+}
+
+// Name implements Strategy.
+func (f *FedOpt) Name() string { return f.name }
+
+// Init implements Strategy.
+func (f *FedOpt) Init(env *Env) {
+	// Round length must be set (SetRoundSteps / the *For constructors)
+	// before Run; an unset value degenerates to per-step rounds.
+	if f.roundSteps == 0 {
+		f.roundSteps = 1
+	}
+	f.global = tensor.Clone(env.W0)
+	f.pseudoGrad = make([]float64, env.D)
+	f.ServerOpt.Reset()
+}
+
+// SetRoundSteps fixes the number of lock-step iterations per communication
+// round. Use FedRoundSteps to derive it from a config.
+func (f *FedOpt) SetRoundSteps(steps int) {
+	if steps <= 0 {
+		panic("core: FedOpt round steps must be positive")
+	}
+	f.roundSteps = steps
+}
+
+// FedRoundSteps returns the lock-step iterations that make up E local
+// epochs for cfg: ceil(shardSize/b)·E with shardSize = |train|/K.
+func FedRoundSteps(cfg Config, e int) int {
+	shard := cfg.Train.Len() / cfg.K
+	if shard == 0 {
+		shard = 1
+	}
+	steps := (shard + cfg.BatchSize - 1) / cfg.BatchSize * e
+	if steps < 1 {
+		steps = 1
+	}
+	return steps
+}
+
+// NewFedAvgFor, NewFedAvgMFor and NewFedAdamFor bind the round length to
+// cfg so one local round spans E full epochs of the worker shards, as in
+// the paper's FedOpt experiments (E = 1).
+
+// NewFedAvgFor returns FedAvg with its round length derived from cfg.
+func NewFedAvgFor(cfg Config, e int) *FedOpt {
+	f := NewFedAvg(e)
+	f.SetRoundSteps(FedRoundSteps(cfg, e))
+	return f
+}
+
+// NewFedAvgMFor returns FedAvgM with its round length derived from cfg.
+func NewFedAvgMFor(cfg Config, e int) *FedOpt {
+	f := NewFedAvgM(e)
+	f.SetRoundSteps(FedRoundSteps(cfg, e))
+	return f
+}
+
+// NewFedAdamFor returns FedAdam with its round length derived from cfg.
+func NewFedAdamFor(cfg Config, e int) *FedOpt {
+	f := NewFedAdam(e)
+	f.SetRoundSteps(FedRoundSteps(cfg, e))
+	return f
+}
+
+// AfterLocalStep implements Strategy.
+func (f *FedOpt) AfterLocalStep(env *Env, t int) {
+	if t%f.roundSteps != 0 {
+		return
+	}
+	// Round boundary: aggregate local models (one metered model AllReduce),
+	// then apply the server update on the global model and broadcast.
+	mean := make([]float64, env.D)
+	views := make([][]float64, len(env.Workers))
+	for i, w := range env.Workers {
+		views[i] = w.Net.Params()
+	}
+	env.Cluster.AllReduceMean("model", mean, views)
+
+	// Pseudo-gradient Δ = w_global − w̄; server step moves the global
+	// model along −Δ scaled by its optimizer.
+	tensor.Sub(f.pseudoGrad, f.global, mean)
+	f.ServerOpt.Step(f.global, f.pseudoGrad)
+
+	for _, w := range env.Workers {
+		w.Net.SetParams(f.global)
+		w.Opt.Reset() // local optimizer state restarts each round
+	}
+	env.WPrev = env.W0
+	env.W0 = tensor.Clone(f.global)
+	env.SyncCount++
+}

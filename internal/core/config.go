@@ -1,0 +1,151 @@
+// Package core implements the paper's contribution — Federated Dynamic
+// Averaging (Algorithm 1) with its SketchFDA and LinearFDA variants — plus
+// every distributed training baseline the paper evaluates against:
+// Synchronous (BSP), Local-SGD with fixed τ, FedAvg, FedAvgM and FedAdam.
+//
+// A training run wires K simulated workers (each with its own model
+// replica, optimizer state and data shard) to a metered AllReduce fabric
+// and executes lock-step global iterations: one local Optimize per worker
+// per step, followed by the strategy's synchronization decision. All
+// strategies share the trainer loop; they differ only in their
+// AfterLocalStep hook, mirroring the paper's observation that FDA changes
+// *when* synchronization happens, not *what* is synchronized.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// ModelBuilder constructs a fresh, randomly initialized network replica.
+// Each worker calls it once; the trainer then overwrites every replica's
+// parameters with a shared w0 so all workers start from the same global
+// model, as Algorithm 1 requires. The builder's rng drives any stochastic
+// layers (dropout) of that replica.
+type ModelBuilder func(rng *tensor.RNG) *nn.Network
+
+// Config describes one training run.
+type Config struct {
+	// K is the number of workers.
+	K int
+	// BatchSize is the local mini-batch size b.
+	BatchSize int
+	// Seed drives every random choice of the run (init, partition,
+	// sampling, dropout, sketches). Identical configs reproduce bit-equal
+	// results.
+	Seed uint64
+	// Model builds worker replicas.
+	Model ModelBuilder
+	// Optimizer builds each worker's local optimizer.
+	Optimizer opt.Factory
+	// Train and Test are the global datasets; Train is partitioned across
+	// workers according to Het.
+	Train, Test *data.Dataset
+	// Het selects the data-heterogeneity scenario (default IID).
+	Het data.Heterogeneity
+	// Cost is the communication cost model (default: paper accounting).
+	Cost comm.CostModel
+	// MaxSteps caps the in-parallel learning steps (safety bound).
+	MaxSteps int
+	// TargetAccuracy ends the run once the global model's test accuracy
+	// reaches it ("training run" in the paper's evaluation methodology).
+	// Zero disables early stopping.
+	TargetAccuracy float64
+	// EvalEvery is the step interval between test-accuracy evaluations
+	// (default 20). Evaluation reads the averaged global model and is not
+	// charged as communication.
+	EvalEvery int
+	// RecordTrainAccuracy additionally evaluates training accuracy at each
+	// evaluation point (needed by the Figure 7 generalization-gap plot).
+	RecordTrainAccuracy bool
+	// SyncCodec optionally compresses model synchronizations (top-k
+	// sparsification, quantization); nil transmits dense models as in the
+	// paper's main experiments.
+	SyncCodec compress.Codec
+}
+
+func (c Config) withDefaults() Config {
+	if c.EvalEvery == 0 {
+		c.EvalEvery = 20
+	}
+	if c.MaxSteps == 0 {
+		c.MaxSteps = 10000
+	}
+	if c.Cost.BytesPerParam == 0 {
+		c.Cost = comm.DefaultCostModel()
+	}
+	return c
+}
+
+func (c Config) validate() error {
+	if c.K <= 0 {
+		return fmt.Errorf("core: K = %d", c.K)
+	}
+	if c.BatchSize <= 0 {
+		return fmt.Errorf("core: BatchSize = %d", c.BatchSize)
+	}
+	if c.Model == nil || c.Optimizer == nil {
+		return fmt.Errorf("core: Model and Optimizer are required")
+	}
+	if c.Train == nil || c.Train.Len() == 0 {
+		return fmt.Errorf("core: empty training set")
+	}
+	if c.Test == nil || c.Test.Len() == 0 {
+		return fmt.Errorf("core: empty test set")
+	}
+	return nil
+}
+
+// Point is one evaluation snapshot along a run.
+type Point struct {
+	Step      int
+	Epoch     float64
+	TestAcc   float64
+	TrainAcc  float64 // only when Config.RecordTrainAccuracy
+	CommBytes int64
+	SyncCount int
+}
+
+// Result summarizes a training run; its fields are the paper's evaluation
+// metrics.
+type Result struct {
+	Strategy string
+	// Steps is the number of in-parallel learning steps each worker
+	// performed (the paper's computation-cost metric).
+	Steps int
+	// Epochs is Steps·b·K divided by the training-set size.
+	Epochs float64
+	// CommBytes is the total data transmitted by all workers (the paper's
+	// communication-cost metric), split into monitoring state and model
+	// synchronization traffic.
+	CommBytes  int64
+	StateBytes int64
+	ModelBytes int64
+	// SyncCount is how many model synchronizations were triggered.
+	SyncCount int
+	// FinalTestAcc is the global model's test accuracy when the run ended;
+	// ReachedTarget reports whether TargetAccuracy was attained within
+	// MaxSteps.
+	FinalTestAcc  float64
+	ReachedTarget bool
+	// History holds the evaluation trace.
+	History []Point
+}
+
+// CommGB returns the communication cost in gigabytes, the unit of the
+// paper's figures.
+func (r Result) CommGB() float64 { return float64(r.CommBytes) / 1e9 }
+
+// String renders a one-line summary.
+func (r Result) String() string {
+	return fmt.Sprintf("%s: steps=%d epochs=%.1f comm=%.3fGB (state %.3f, model %.3f) syncs=%d acc=%.4f target=%v",
+		r.Strategy, r.Steps, r.Epochs, r.CommGB(),
+		float64(r.StateBytes)/1e9, float64(r.ModelBytes)/1e9,
+		r.SyncCount, r.FinalTestAcc, r.ReachedTarget)
+}

@@ -1,0 +1,230 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/sketch"
+	"repro/internal/tensor"
+)
+
+// fdaBase carries the state shared by both FDA variants: the variance
+// threshold Θ and the per-step decision loop of Algorithm 1. The variant
+// contributes the local-state summary and the estimation function H.
+//
+// Per global step t each worker k:
+//
+//  1. computes its drift u^(k) = w^(k) − w_t0 and squared norm ‖u^(k)‖²,
+//  2. builds the variant's local state S^(k),
+//  3. the states are AllReduce-averaged (charged as "state" traffic),
+//  4. all workers evaluate H(S̄); if H(S̄) > Θ the full models are
+//     AllReduce-averaged (charged as "model" traffic) and a new round
+//     begins.
+type fdaBase struct {
+	Theta float64
+}
+
+// SketchFDA is the AMS-sketch variant (paper §3.1, Theorem 3.1): the
+// local state is (‖u‖², sk(u)) and
+//
+//	H(S̄) = mean‖u‖² − M2(mean sketch)/(1+ε),
+//
+// which overestimates Var(w_t) with probability ≥ 1−δ.
+type SketchFDA struct {
+	fdaBase
+	// L and M are the sketch depth and width; zero values select the
+	// paper's recommendation l=5, m=250 (ε≈6%, 1−δ≈95%).
+	L, M int
+	// Epsilon is the sketch error bound used in H's deflation term;
+	// zero selects 0.06, matching the default dimensions.
+	Epsilon float64
+	// SketchSeed seeds the shared hash functions (all workers must agree).
+	SketchSeed uint64
+
+	sk     *sketch.Sketcher
+	states [][]float64 // per-worker state vectors [‖u‖², sketch...]
+	meanSt []float64
+	skBuf  *sketch.Sketch
+	meanSk *sketch.Sketch
+}
+
+// NewSketchFDA returns the sketch-based FDA strategy with threshold theta
+// and default sketch dimensions.
+func NewSketchFDA(theta float64) *SketchFDA {
+	return &SketchFDA{fdaBase: fdaBase{Theta: theta}}
+}
+
+// Name implements Strategy.
+func (s *SketchFDA) Name() string { return "SketchFDA" }
+
+// Init implements Strategy.
+func (s *SketchFDA) Init(env *Env) {
+	if s.L == 0 {
+		s.L = 5
+	}
+	if s.M == 0 {
+		// The paper's m=250 assumes sketches far smaller than the model
+		// (5 kB vs multi-MB models, §3.3). At reproduction scale small
+		// models would otherwise carry sketches comparable to themselves,
+		// so cap the sketch at ~1/10 of the model dimension, floored to
+		// keep estimates usable. The error bound ε widens accordingly
+		// (ε ~ 1/√m), keeping H a conservative overestimate.
+		s.M = env.D / (10 * s.L)
+		if s.M > 250 {
+			s.M = 250
+		}
+		if s.M < 16 {
+			s.M = 16
+		}
+		if s.Epsilon == 0 {
+			s.Epsilon = 15.0 / float64(s.M)
+			if s.Epsilon < 0.06 {
+				s.Epsilon = 0.06
+			}
+			if s.Epsilon > 0.5 {
+				s.Epsilon = 0.5
+			}
+		}
+	}
+	if s.Epsilon == 0 {
+		s.Epsilon = 0.06
+	}
+	if s.Theta < 0 {
+		panic(fmt.Sprintf("core: negative Θ %v", s.Theta))
+	}
+	s.sk = sketch.NewSketcher(s.L, s.M, s.SketchSeed^0x5ce7c4)
+	s.sk.Precompute(env.D)
+	stateDim := 1 + s.L*s.M
+	s.states = make([][]float64, len(env.Workers))
+	for i := range s.states {
+		s.states[i] = make([]float64, stateDim)
+	}
+	s.meanSt = make([]float64, stateDim)
+	s.skBuf = s.sk.NewSketch()
+	s.meanSk = s.sk.NewSketch()
+}
+
+// AfterLocalStep implements Strategy.
+func (s *SketchFDA) AfterLocalStep(env *Env, _ int) {
+	for i, w := range env.Workers {
+		u := w.Drift(env.W0)
+		st := s.states[i]
+		st[0] = tensor.SquaredNorm(u)
+		s.sk.SketchVec(s.skBuf, u)
+		copy(st[1:], s.skBuf.Data)
+	}
+	env.Cluster.AllReduceMean("state", s.meanSt, s.states)
+	if s.estimate() > s.Theta {
+		env.SyncModels()
+	}
+}
+
+// estimate computes H(S̄) from the averaged state.
+func (s *SketchFDA) estimate() float64 {
+	meanSq := s.meanSt[0]
+	copy(s.meanSk.Data, s.meanSt[1:])
+	return meanSq - sketch.M2(s.meanSk)/(1+s.Epsilon)
+}
+
+// LinearFDA is the two-scalar variant (paper §3.2, Theorem 3.2): the local
+// state is (‖u‖², ⟨ξ, u⟩) for a shared unit vector ξ, and
+//
+//	H(S̄) = mean‖u‖² − (mean⟨ξ, u⟩)²
+//
+// deterministically overestimates Var(w_t) by Cauchy–Schwarz. ξ is the
+// paper's heuristic: the normalized global drift between the last two
+// synchronizations, ξ = (w_t0 − w_t−1)/‖w_t0 − w_t−1‖; until two
+// synchronizations have happened ξ = 0, making H the (valid, loose)
+// mean-squared-drift bound.
+type LinearFDA struct {
+	fdaBase
+	// XiMode selects the direction heuristic: "drift" (paper), "random"
+	// (ablation: a fixed random unit vector), or "zero" (ablation: no
+	// deflation term at all).
+	XiMode string
+	// Seed drives the random-ξ ablation.
+	Seed uint64
+
+	xi     []float64
+	states [][]float64
+	meanSt []float64
+}
+
+// NewLinearFDA returns the linear FDA strategy with threshold theta and
+// the paper's ξ heuristic.
+func NewLinearFDA(theta float64) *LinearFDA {
+	return &LinearFDA{fdaBase: fdaBase{Theta: theta}, XiMode: "drift"}
+}
+
+// Name implements Strategy.
+func (l *LinearFDA) Name() string { return "LinearFDA" }
+
+// Init implements Strategy.
+func (l *LinearFDA) Init(env *Env) {
+	l.xi = make([]float64, env.D)
+	if l.XiMode == "random" {
+		rng := tensor.NewRNG(l.Seed ^ 0x11fda)
+		tensor.Normal(rng, l.xi, 0, 1)
+		tensor.Normalize(l.xi)
+	}
+	l.states = make([][]float64, len(env.Workers))
+	for i := range l.states {
+		l.states[i] = make([]float64, 2)
+	}
+	l.meanSt = make([]float64, 2)
+}
+
+// AfterLocalStep implements Strategy.
+func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
+	for i, w := range env.Workers {
+		u := w.Drift(env.W0)
+		l.states[i][0] = tensor.SquaredNorm(u)
+		l.states[i][1] = tensor.Dot(l.xi, u)
+	}
+	env.Cluster.AllReduceMean("state", l.meanSt, l.states)
+	h := l.meanSt[0] - l.meanSt[1]*l.meanSt[1]
+	if h > l.Theta {
+		env.SyncModels()
+		if l.XiMode == "drift" && env.WPrev != nil {
+			// ξ ← (w_t0 − w_t−1) normalized; skip degenerate zero drift.
+			tensor.Sub(l.xi, env.W0, env.WPrev)
+			if tensor.Normalize(l.xi) == 0 {
+				tensor.Zero(l.xi)
+			}
+		}
+	}
+}
+
+// OracleFDA is an ablation, not a deployable strategy: it monitors the
+// exact model variance (Eq. 2) at zero estimation error and synchronizes
+// when Var(w_t) > Θ. It charges the same two-scalar state traffic as
+// LinearFDA so results isolate estimation quality, not bandwidth. The gap
+// between OracleFDA and the two real variants measures how much their
+// overestimation costs in extra synchronizations.
+type OracleFDA struct {
+	fdaBase
+}
+
+// NewOracleFDA returns the exact-variance oracle with threshold theta.
+func NewOracleFDA(theta float64) *OracleFDA {
+	return &OracleFDA{fdaBase{Theta: theta}}
+}
+
+// Name implements Strategy.
+func (o *OracleFDA) Name() string { return "OracleFDA" }
+
+// Init implements Strategy.
+func (o *OracleFDA) Init(_ *Env) {}
+
+// AfterLocalStep implements Strategy.
+func (o *OracleFDA) AfterLocalStep(env *Env, _ int) {
+	// Charge the same state traffic a two-scalar variant would use.
+	scalars := make([][]float64, len(env.Workers))
+	for i, w := range env.Workers {
+		scalars[i] = []float64{tensor.SquaredNorm(w.Drift(env.W0)), 0}
+	}
+	mean := make([]float64, 2)
+	env.Cluster.AllReduceMean("state", mean, scalars)
+	if env.ExactVarianceViaDrift() > o.Theta {
+		env.SyncModels()
+	}
+}

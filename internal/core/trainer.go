@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// Strategy is a synchronization policy plugged into the shared trainer
+// loop. Implementations decide, after every lock-step local update, whether
+// (and how) to synchronize the workers' models.
+type Strategy interface {
+	// Name identifies the strategy in results and figures.
+	Name() string
+	// Init is called once, after workers are built and before step 1.
+	Init(env *Env)
+	// AfterLocalStep is called at global step t (1-based) after every
+	// worker has performed one local Optimize step.
+	AfterLocalStep(env *Env, t int)
+}
+
+// Run executes one training run of cfg under the given strategy and
+// returns its cost/quality summary. Runs are deterministic in (cfg, s).
+func Run(cfg Config, s Strategy) (Result, error) {
+	cfg = cfg.withDefaults()
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	root := tensor.NewRNG(cfg.Seed)
+
+	// Shared initial model: one reference replica defines w0.
+	initNet := cfg.Model(root.Split())
+	w0 := tensor.Clone(initNet.Params())
+	d := initNet.NumParams()
+
+	shards := cfg.Het.Partition(cfg.Train, cfg.K, root.Split())
+
+	cluster := comm.NewCluster(cfg.K)
+	cluster.Cost = cfg.Cost
+
+	workers := make([]*Worker, cfg.K)
+	for k := range workers {
+		net := cfg.Model(root.Split())
+		net.SetParams(w0)
+		workers[k] = &Worker{
+			ID:      k,
+			Net:     net,
+			Opt:     cfg.Optimizer(),
+			Shard:   shards[k],
+			drift:   make([]float64, d),
+			sampler: data.NewSampler(shards[k], root.Split()),
+		}
+	}
+
+	env := newEnv(cluster, workers)
+	env.Codec = cfg.SyncCodec
+	s.Init(env)
+
+	evalNet := cfg.Model(root.Split())
+	globalParams := make([]float64, d)
+
+	res := Result{Strategy: s.Name()}
+	samplesPerStep := float64(cfg.BatchSize * cfg.K)
+	trainLen := float64(cfg.Train.Len())
+
+	evaluate := func(t int) Point {
+		env.GlobalModel(globalParams)
+		evalNet.SetParams(globalParams)
+		p := Point{
+			Step:      t,
+			Epoch:     float64(t) * samplesPerStep / trainLen,
+			TestAcc:   evalNet.Accuracy(cfg.Test),
+			CommBytes: cluster.Meter.TotalBytes(),
+			SyncCount: env.SyncCount,
+		}
+		if cfg.RecordTrainAccuracy {
+			p.TrainAcc = evalNet.Accuracy(cfg.Train)
+		}
+		return p
+	}
+
+	for t := 1; t <= cfg.MaxSteps; t++ {
+		for _, w := range workers {
+			w.LocalStep(cfg.BatchSize)
+		}
+		s.AfterLocalStep(env, t)
+		res.Steps = t
+
+		if t%cfg.EvalEvery == 0 || t == cfg.MaxSteps {
+			p := evaluate(t)
+			res.History = append(res.History, p)
+			res.FinalTestAcc = p.TestAcc
+			if cfg.TargetAccuracy > 0 && p.TestAcc >= cfg.TargetAccuracy {
+				res.ReachedTarget = true
+				break
+			}
+			if !tensor.AllFinite(globalParams) {
+				return res, fmt.Errorf("core: %s diverged (non-finite parameters) at step %d", s.Name(), t)
+			}
+		}
+	}
+
+	res.Epochs = float64(res.Steps) * samplesPerStep / trainLen
+	res.CommBytes = cluster.Meter.TotalBytes()
+	res.StateBytes = cluster.Meter.BytesFor("state")
+	res.ModelBytes = cluster.Meter.BytesFor("model")
+	res.SyncCount = env.SyncCount
+	return res, nil
+}
+
+// MustRun is Run for tests and examples where a config error is a bug.
+func MustRun(cfg Config, s Strategy) Result {
+	r, err := Run(cfg, s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}

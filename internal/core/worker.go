@@ -1,0 +1,170 @@
+package core
+
+import (
+	"repro/internal/comm"
+	"repro/internal/compress"
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Worker is one simulated training node: a model replica, a local
+// optimizer with private state, and a shard of the training data.
+type Worker struct {
+	ID      int
+	Net     *nn.Network
+	Opt     opt.Optimizer
+	Shard   *data.Dataset
+	sampler *data.Sampler
+
+	drift []float64 // scratch: u^(k) = w^(k) − w_t0
+}
+
+// LocalStep performs one mini-batch Optimize step and returns the batch
+// loss.
+func (w *Worker) LocalStep(batchSize int) float64 {
+	loss := w.Net.LossGradBatch(w.sampler.Sample(batchSize))
+	w.Opt.Step(w.Net.Params(), w.Net.Grads())
+	return loss
+}
+
+// Drift recomputes and returns the worker's drift vector u = w − w0. The
+// returned slice is reused across calls.
+func (w *Worker) Drift(w0 []float64) []float64 {
+	tensor.Sub(w.drift, w.Net.Params(), w0)
+	return w.drift
+}
+
+// Env is the shared state a strategy operates on: the cluster fabric, the
+// workers, and the models at the last two synchronization points (w_t0
+// and w_t−1 in the paper's notation, needed by LinearFDA's ξ heuristic).
+type Env struct {
+	Cluster *comm.Cluster
+	Workers []*Worker
+	// W0 is the global model at the most recent synchronization.
+	W0 []float64
+	// WPrev is the global model at the synchronization before that; nil
+	// until two synchronizations have happened.
+	WPrev []float64
+	// D is the model dimension.
+	D int
+	// SyncCount counts model synchronizations performed so far.
+	SyncCount int
+	// Codec, when non-nil, compresses the drifts exchanged during model
+	// synchronization (see Config.SyncCodec). FDA composes with model
+	// compression because it only changes when synchronization happens.
+	Codec compress.Codec
+
+	paramViews [][]float64 // workers' parameter slices, for AllReduce
+	codecBuf   []float64
+	codecMean  []float64
+}
+
+func newEnv(cluster *comm.Cluster, workers []*Worker) *Env {
+	e := &Env{
+		Cluster: cluster,
+		Workers: workers,
+		D:       workers[0].Net.NumParams(),
+	}
+	e.W0 = tensor.Clone(workers[0].Net.Params())
+	e.paramViews = make([][]float64, len(workers))
+	for i, w := range workers {
+		e.paramViews[i] = w.Net.Params()
+	}
+	return e
+}
+
+// SyncModels performs the expensive model synchronization: an AllReduce
+// over the full parameter vectors, leaving every worker holding the
+// average model, and advances the (w_t0, w_t−1) bookkeeping. When a codec
+// is configured, each worker's drift is compressed before aggregation and
+// the compressed wire size is charged instead of the dense model.
+func (e *Env) SyncModels() {
+	if e.Codec != nil {
+		e.syncCompressed()
+		return
+	}
+	e.WPrev = e.W0
+	e.Cluster.AllReduce("model", e.paramViews)
+	e.W0 = tensor.Clone(e.Workers[0].Net.Params())
+	e.SyncCount++
+}
+
+// syncCompressed implements compressed synchronization: workers exchange
+// codec-compressed drifts; the new global model is w_t0 plus the mean of
+// the reconstructed drifts. The residual each worker keeps (its true
+// parameters minus the reconstruction) is discarded, matching plain
+// (non-error-feedback) compressed averaging.
+func (e *Env) syncCompressed() {
+	if e.codecBuf == nil {
+		e.codecBuf = make([]float64, e.D)
+		e.codecMean = make([]float64, e.D)
+	}
+	tensor.Zero(e.codecMean)
+	var wire int64
+	for _, w := range e.Workers {
+		u := w.Drift(e.W0)
+		wire += int64(e.Codec.Roundtrip(e.codecBuf, u))
+		tensor.AXPY(1, e.codecBuf, e.codecMean)
+	}
+	tensor.Scale(e.codecMean, 1/float64(len(e.Workers)))
+	e.WPrev = e.W0
+	global := tensor.Clone(e.W0)
+	tensor.Add(global, global, e.codecMean)
+	for _, w := range e.Workers {
+		w.Net.SetParams(global)
+	}
+	e.W0 = global
+	e.SyncCount++
+	// Each worker uploads its compressed drift and downloads the
+	// aggregate; charge 2× the summed compressed payloads.
+	e.Cluster.Meter.Charge("model", 2*wire)
+}
+
+// GlobalModel writes the current average model w̄ into dst (measurement
+// only; not charged as communication).
+func (e *Env) GlobalModel(dst []float64) {
+	tensor.Mean(dst, e.paramViews...)
+}
+
+// MeanSquaredDrift returns (1/K)·Σ‖u^(k)‖² computed locally (measurement
+// helper for tests and the exact-variance oracle).
+func (e *Env) MeanSquaredDrift() float64 {
+	var s float64
+	for _, w := range e.Workers {
+		s += tensor.SquaredNorm(w.Drift(e.W0))
+	}
+	return s / float64(len(e.Workers))
+}
+
+// ExactVariance returns Var(w_t) computed directly from Eq. (2) — the
+// ground truth that the FDA estimators bound. Used by tests and the
+// oracle ablation; a real deployment cannot compute it cheaply.
+func (e *Env) ExactVariance() float64 {
+	mean := make([]float64, e.D)
+	e.GlobalModel(mean)
+	var s float64
+	diff := make([]float64, e.D)
+	for _, w := range e.Workers {
+		tensor.Sub(diff, w.Net.Params(), mean)
+		s += tensor.SquaredNorm(diff)
+	}
+	return s / float64(len(e.Workers))
+}
+
+// ExactVarianceViaDrift returns Var(w_t) through the drift identity
+// Eq. (4): mean‖u‖² − ‖ū‖². Tests assert it matches ExactVariance.
+func (e *Env) ExactVarianceViaDrift() float64 {
+	meanDrift := make([]float64, e.D)
+	var meanSq float64
+	for _, w := range e.Workers {
+		u := w.Drift(e.W0)
+		meanSq += tensor.SquaredNorm(u)
+		tensor.AXPY(1, u, meanDrift)
+	}
+	k := float64(len(e.Workers))
+	meanSq /= k
+	tensor.Scale(meanDrift, 1/k)
+	return meanSq - tensor.SquaredNorm(meanDrift)
+}

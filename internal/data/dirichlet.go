@@ -1,0 +1,104 @@
+package data
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+)
+
+// PartitionDirichlet splits ds across k workers with label proportions
+// drawn from a symmetric Dirichlet(α) distribution per class — the
+// standard non-IID generator of the federated-learning literature (Hsu et
+// al., cited by the paper as [21]). Small α concentrates each class on
+// few workers (extreme skew); large α approaches IID. Every sample is
+// assigned exactly once.
+func PartitionDirichlet(ds *Dataset, k int, alpha float64, rng *tensor.RNG) []*Dataset {
+	checkPartitionArgs(ds, k)
+	if alpha <= 0 {
+		panic(fmt.Sprintf("data: Dirichlet alpha %v must be positive", alpha))
+	}
+	// Group indices by class, shuffled.
+	byClass := make([][]int, ds.NumClasses)
+	for i, y := range ds.Y {
+		byClass[y] = append(byClass[y], i)
+	}
+	shards := make([][]int, k)
+	for _, idxs := range byClass {
+		rng.Shuffle(idxs)
+		props := dirichlet(rng, alpha, k)
+		// Convert proportions to contiguous cut points over the class.
+		n := len(idxs)
+		start := 0
+		acc := 0.0
+		for w := 0; w < k; w++ {
+			acc += props[w]
+			end := int(math.Round(acc * float64(n)))
+			if w == k-1 {
+				end = n
+			}
+			if end < start {
+				end = start
+			}
+			shards[w] = append(shards[w], idxs[start:end]...)
+			start = end
+		}
+	}
+	return subsets(ds, shards)
+}
+
+// dirichlet draws one sample from a symmetric Dirichlet(alpha) over k
+// categories using normalized Gamma variates (Marsaglia–Tsang for
+// alpha ≥ 1, boosted for alpha < 1).
+func dirichlet(rng *tensor.RNG, alpha float64, k int) []float64 {
+	out := make([]float64, k)
+	var sum float64
+	for i := range out {
+		out[i] = gammaSample(rng, alpha)
+		sum += out[i]
+	}
+	if sum == 0 {
+		// Degenerate draw (possible only for tiny alpha); fall back to a
+		// single random owner.
+		out[rng.Intn(k)] = 1
+		return out
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+	return out
+}
+
+// gammaSample draws Gamma(shape, 1) via Marsaglia & Tsang (2000).
+func gammaSample(rng *tensor.RNG, shape float64) float64 {
+	if shape < 1 {
+		// Boost: Gamma(a) = Gamma(a+1) · U^(1/a).
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		return gammaSample(rng, shape+1) * math.Pow(u, 1/shape)
+	}
+	d := shape - 1.0/3.0
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := rng.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := rng.Float64()
+		if u == 0 {
+			continue
+		}
+		if math.Log(u) < 0.5*x*x+d-d*v+d*math.Log(v) {
+			return d * v
+		}
+	}
+}
+
+// NonIIDDirichlet names the Dirichlet scenario for experiment configs.
+func NonIIDDirichlet(alpha float64) Heterogeneity {
+	return Heterogeneity{Kind: "dirichlet", Pct: alpha}
+}

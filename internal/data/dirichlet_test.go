@@ -1,0 +1,105 @@
+package data
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+func TestDirichletConservesSamples(t *testing.T) {
+	ds := taggedDataset(400, 4)
+	shards := PartitionDirichlet(ds, 8, 0.5, tensor.NewRNG(1))
+	conservesSamples(t, ds, shards)
+}
+
+func TestDirichletSmallAlphaSkews(t *testing.T) {
+	ds := taggedDataset(1000, 10)
+	shards := PartitionDirichlet(ds, 10, 0.05, tensor.NewRNG(2))
+	// With α=0.05, most workers should have a dominant class.
+	dominated := 0
+	for _, s := range shards {
+		if s.Len() == 0 {
+			continue
+		}
+		maxc := 0
+		for _, n := range s.ClassCounts() {
+			if n > maxc {
+				maxc = n
+			}
+		}
+		if float64(maxc) > 0.5*float64(s.Len()) {
+			dominated++
+		}
+	}
+	if dominated < 5 {
+		t.Fatalf("only %d/10 shards dominated by one class at α=0.05", dominated)
+	}
+}
+
+func TestDirichletLargeAlphaApproachesIID(t *testing.T) {
+	ds := taggedDataset(2000, 4)
+	shards := PartitionDirichlet(ds, 4, 100, tensor.NewRNG(3))
+	// With α=100 each shard should hold roughly 1/4 of each class.
+	for _, s := range shards {
+		for c, n := range s.ClassCounts() {
+			frac := float64(n) / 500 // 500 per class total
+			if math.Abs(frac-0.25) > 0.12 {
+				t.Fatalf("class %d fraction %v far from 0.25 at α=100", c, frac)
+			}
+		}
+	}
+}
+
+func TestDirichletValidation(t *testing.T) {
+	ds := taggedDataset(40, 4)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for alpha <= 0")
+		}
+	}()
+	PartitionDirichlet(ds, 4, 0, tensor.NewRNG(1))
+}
+
+func TestDirichletHeterogeneityDispatch(t *testing.T) {
+	ds := taggedDataset(120, 4)
+	h := NonIIDDirichlet(0.3)
+	if h.String() != "Non-IID: Dir(0.3)" {
+		t.Fatalf("string %q", h.String())
+	}
+	shards := h.Partition(ds, 4, tensor.NewRNG(4))
+	conservesSamples(t, ds, shards)
+}
+
+func TestGammaSampleMoments(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	for _, shape := range []float64{0.5, 1, 2.5} {
+		const n = 50000
+		var sum float64
+		for i := 0; i < n; i++ {
+			sum += gammaSample(rng, shape)
+		}
+		mean := sum / n
+		// Gamma(shape, 1) has mean = shape.
+		if math.Abs(mean-shape)/shape > 0.05 {
+			t.Fatalf("Gamma(%v) sample mean %v", shape, mean)
+		}
+	}
+}
+
+func TestDirichletSumsToOne(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	for i := 0; i < 100; i++ {
+		p := dirichlet(rng, 0.3, 7)
+		var sum float64
+		for _, v := range p {
+			if v < 0 {
+				t.Fatalf("negative proportion %v", v)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("proportions sum to %v", sum)
+		}
+	}
+}

@@ -1,0 +1,113 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/comm"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/metrics"
+)
+
+// ThetaFit is one deployment setting's empirical Θ* ≈ c·d line (Figure 12).
+type ThetaFit struct {
+	Setting string
+	// Slope is the fitted constant c in Θ* = c·d.
+	Slope float64
+	// Points are the per-model (d, Θ*) pairs behind the fit.
+	Dims, BestTheta []float64
+}
+
+// Figure12 reproduces Figure 12: for each deployment setting (FL,
+// Balanced, ARIS-HPC network profiles), sweep Θ per model, pick the Θ*
+// that minimizes estimated training wall-time under that profile, and fit
+// Θ* = c·d through the origin. The paper's finding — slower networks favor
+// larger Θ, and Θ* grows linearly with d — is reproduced as the ordering
+// slope(FL) ≥ slope(Balanced) ≥ slope(HPC).
+func Figure12(o Options) []ThetaFit {
+	modelNames := []string{"lenet5s", "vgg16s", "densenet121s"}
+	if o.Scale == Full {
+		modelNames = append(modelNames, "densenet201s")
+	}
+	targets := map[string]float64{
+		"lenet5s": 0.93, "vgg16s": 0.96, "densenet121s": 0.75, "densenet201s": 0.75,
+	}
+	// computeSecPerStep is the assumed per-step computation time used to
+	// translate steps into wall-time alongside the profile's network time,
+	// and byteScale rescales the metered bytes to the paper's regime: the
+	// scaled models are O(100×) smaller than the paper's, so without
+	// rescaling the communication term would be negligible on every
+	// profile and all settings would pick the same compute-optimal Θ*.
+	// byteScale ≈ the paper-to-reproduction model-size ratio restores the
+	// comm/compute balance the figure is about.
+	const computeSecPerStep = 0.05
+	const byteScale = 300
+
+	profiles := []comm.NetworkProfile{comm.ProfileFL, comm.ProfileBalanced, comm.ProfileHPC}
+
+	type cell struct {
+		theta float64
+		meter *comm.Meter
+		steps int
+	}
+	out := o.out()
+	fmt.Fprintf(out, "\n== fig12 — empirical Θ* vs d per deployment setting ==\n")
+
+	// Run the Θ sweeps once per model; evaluate every profile on the same
+	// sweep (wall-time is a post-hoc function of the meter).
+	sweeps := map[string][]cell{}
+	dims := map[string]float64{}
+	for _, name := range modelNames {
+		w := loadWorkload(name, o.Seed)
+		dims[name] = float64(w.spec.Params)
+		thetas := w.spec.ThetaGrid
+		if o.Scale == Tiny {
+			thetas = thetas[:3]
+		}
+		for _, th := range thetas {
+			maxSteps, evalEvery := modelBudget(name)
+			cfg := w.baseConfig(3, o.Seed+31, maxSteps, evalEvery, targets[name], data.IID())
+			res := core.MustRun(cfg, core.NewLinearFDA(th))
+			if !res.ReachedTarget {
+				continue
+			}
+			m := comm.NewMeter()
+			m.Charge("state", res.StateBytes)
+			m.Charge("model", res.ModelBytes)
+			sweeps[name] = append(sweeps[name], cell{theta: th, meter: m, steps: res.Steps})
+		}
+	}
+
+	var fits []ThetaFit
+	for _, p := range profiles {
+		fit := ThetaFit{Setting: p.Name}
+		for _, name := range modelNames {
+			best := -1
+			bestTime := 0.0
+			for i, c := range sweeps[name] {
+				scaled := comm.NewMeter()
+				scaled.Charge("model", int64(byteScale*float64(c.meter.BytesFor("model"))))
+				scaled.Charge("state", int64(byteScale*float64(c.meter.BytesFor("state"))))
+				t := p.CommTime(scaled) + computeSecPerStep*float64(c.steps)
+				if best < 0 || t < bestTime {
+					best, bestTime = i, t
+				}
+			}
+			if best < 0 {
+				continue
+			}
+			fit.Dims = append(fit.Dims, dims[name])
+			fit.BestTheta = append(fit.BestTheta, sweeps[name][best].theta)
+		}
+		if len(fit.Dims) > 0 {
+			fit.Slope = metrics.FitThroughOrigin(fit.Dims, fit.BestTheta)
+		}
+		fits = append(fits, fit)
+		fmt.Fprintf(out, "%-9s Θ* ≈ %.3g · d   (points:", p.Name, fit.Slope)
+		for i := range fit.Dims {
+			fmt.Fprintf(out, " d=%.0f→Θ*=%.3f", fit.Dims[i], fit.BestTheta[i])
+		}
+		fmt.Fprintf(out, ")\n")
+	}
+	return fits
+}

@@ -1,0 +1,38 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/models"
+	"repro/internal/tensor"
+)
+
+// testRNG gives experiment files a compact deterministic generator.
+func testRNG(seed uint64) *tensor.RNG { return tensor.NewRNG(seed) }
+
+// Table2 reproduces Table 2 (the experiment summary): one row per model
+// with its dimension at both paper and reproduction scale, dataset,
+// Θ grid, batch size, worker grid, optimizer and algorithm set.
+func Table2(o Options) *metrics.Table {
+	t := metrics.NewTable("NN", "paper d", "repro d", "Dataset", "Θ grid (repro)", "b", "K grid", "Optimizer", "Algorithms")
+	for _, s := range models.Catalog() {
+		ks, _ := o.grids(s.ThetaGrid)
+		if s.Name == "convnexts" {
+			ks = []int{3, 5}
+		}
+		t.AddRow(
+			fmt.Sprintf("%s (%s)", s.PaperModel, s.Name),
+			s.PaperParams,
+			s.Params,
+			s.Dataset,
+			fmt.Sprintf("%.3g–%.3g", s.ThetaGrid[0], s.ThetaGrid[len(s.ThetaGrid)-1]),
+			32,
+			fmt.Sprint(ks),
+			s.OptimizerName,
+			s.Algorithms,
+		)
+	}
+	t.Render(o.out())
+	return t
+}

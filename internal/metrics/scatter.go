@@ -1,0 +1,154 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Scatter renders an ASCII scatter plot of multiple named series, the
+// terminal equivalent of the paper's (communication, steps) figures.
+// Both axes can be logarithmic, as in the paper's plots.
+type Scatter struct {
+	Title  string
+	XLabel string
+	YLabel string
+	LogX   bool
+	LogY   bool
+	Width  int // plot columns (default 60)
+	Height int // plot rows (default 20)
+
+	series []scatterSeries
+}
+
+type scatterSeries struct {
+	name string
+	xs   []float64
+	ys   []float64
+}
+
+// seriesGlyphs are assigned to series in insertion order.
+var seriesGlyphs = []byte{'L', 'S', 'F', 'B', 'o', 'x', '+', '*'}
+
+// Add appends a named series. Non-positive values are dropped when the
+// corresponding axis is logarithmic.
+func (p *Scatter) Add(name string, xs, ys []float64) {
+	if len(xs) != len(ys) {
+		panic("metrics: Scatter series length mismatch")
+	}
+	p.series = append(p.series, scatterSeries{name: name, xs: xs, ys: ys})
+}
+
+// Render draws the plot to w. Empty plots render a note instead.
+func (p *Scatter) Render(w io.Writer) {
+	width, height := p.Width, p.Height
+	if width <= 0 {
+		width = 60
+	}
+	if height <= 0 {
+		height = 20
+	}
+
+	tx := func(v float64) (float64, bool) { return v, true }
+	ty := tx
+	if p.LogX {
+		tx = func(v float64) (float64, bool) {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+	}
+	if p.LogY {
+		ty = func(v float64) (float64, bool) {
+			if v <= 0 {
+				return 0, false
+			}
+			return math.Log10(v), true
+		}
+	}
+
+	// Collect transformed points.
+	type pt struct {
+		x, y  float64
+		glyph byte
+	}
+	var pts []pt
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	for si, s := range p.series {
+		glyph := seriesGlyphs[si%len(seriesGlyphs)]
+		for i := range s.xs {
+			x, okx := tx(s.xs[i])
+			y, oky := ty(s.ys[i])
+			if !okx || !oky {
+				continue
+			}
+			pts = append(pts, pt{x: x, y: y, glyph: glyph})
+			minX, maxX = math.Min(minX, x), math.Max(maxX, x)
+			minY, maxY = math.Min(minY, y), math.Max(maxY, y)
+		}
+	}
+	if p.Title != "" {
+		fmt.Fprintln(w, p.Title)
+	}
+	if len(pts) == 0 {
+		fmt.Fprintln(w, "(no plottable points)")
+		return
+	}
+	if maxX == minX {
+		maxX = minX + 1
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, q := range pts {
+		col := int((q.x - minX) / (maxX - minX) * float64(width-1))
+		row := int((q.y - minY) / (maxY - minY) * float64(height-1))
+		grid[height-1-row][col] = q.glyph
+	}
+
+	axisVal := func(v float64, log bool) float64 {
+		if log {
+			return math.Pow(10, v)
+		}
+		return v
+	}
+	for i, row := range grid {
+		label := "          "
+		switch i {
+		case 0:
+			label = fmt.Sprintf("%-10.3g", axisVal(maxY, p.LogY))
+		case height - 1:
+			label = fmt.Sprintf("%-10.3g", axisVal(minY, p.LogY))
+		case height / 2:
+			label = fmt.Sprintf("%-10s", p.YLabel)
+		}
+		fmt.Fprintf(w, "%s|%s\n", label, string(row))
+	}
+	fmt.Fprintf(w, "%10s+%s\n", "", strings.Repeat("-", width))
+	fmt.Fprintf(w, "%10s %-.3g%s%.3g  (%s)\n", "",
+		axisVal(minX, p.LogX), strings.Repeat(" ", max(1, width-16)), axisVal(maxX, p.LogX), p.XLabel)
+
+	// Legend, in series order.
+	var legend []string
+	for si, s := range p.series {
+		legend = append(legend, fmt.Sprintf("%c=%s", seriesGlyphs[si%len(seriesGlyphs)], s.name))
+	}
+	sort.Strings(legend)
+	fmt.Fprintf(w, "%10s %s\n", "", strings.Join(legend, "  "))
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

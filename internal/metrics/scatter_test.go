@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestScatterRendersPointsAndLegend(t *testing.T) {
+	p := Scatter{Title: "demo", XLabel: "x", YLabel: "y", Width: 40, Height: 10}
+	p.Add("alpha", []float64{1, 2, 3}, []float64{1, 4, 9})
+	p.Add("beta", []float64{1.5}, []float64{2})
+	var b strings.Builder
+	p.Render(&b)
+	out := b.String()
+	if !strings.Contains(out, "demo") {
+		t.Fatal("missing title")
+	}
+	if !strings.Contains(out, "L=alpha") || !strings.Contains(out, "S=beta") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	if !strings.Contains(out, "L") || !strings.Contains(out, "S") {
+		t.Fatal("missing glyphs")
+	}
+}
+
+func TestScatterLogAxesDropNonPositive(t *testing.T) {
+	p := Scatter{LogX: true, LogY: true, Width: 20, Height: 5}
+	p.Add("s", []float64{0, -1, 10}, []float64{1, 1, 100})
+	var b strings.Builder
+	p.Render(&b)
+	out := b.String()
+	// Only the (10, 100) point survives; plot must still render.
+	if strings.Contains(out, "no plottable points") {
+		t.Fatalf("valid point dropped:\n%s", out)
+	}
+}
+
+func TestScatterEmpty(t *testing.T) {
+	p := Scatter{LogX: true}
+	p.Add("s", []float64{-1}, []float64{1})
+	var b strings.Builder
+	p.Render(&b)
+	if !strings.Contains(b.String(), "no plottable points") {
+		t.Fatal("empty plot not flagged")
+	}
+}
+
+func TestScatterLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&Scatter{}).Add("s", []float64{1}, []float64{1, 2})
+}
+
+func TestScatterSinglePoint(t *testing.T) {
+	p := Scatter{Width: 10, Height: 4}
+	p.Add("one", []float64{5}, []float64{5})
+	var b strings.Builder
+	p.Render(&b)
+	if !strings.Contains(b.String(), "L") {
+		t.Fatal("single point not plotted")
+	}
+}

@@ -1,0 +1,268 @@
+package nn
+
+import "repro/internal/tensor"
+
+// Conv2D is a 2-D convolution over channel-major volumes (layout
+// [c][h][w] flattened), stride 1, with "same" zero padding for odd kernel
+// sizes. Weights are stored flat as [outC][inC][kh][kw] followed by one
+// bias per output channel.
+type Conv2D struct {
+	in     Shape
+	outC   int
+	k      int // square kernel size, odd
+	scheme InitScheme
+
+	w, gw []float64 // outC*inC*k*k weight / gradient views
+	b, gb []float64 // outC bias / gradient views
+
+	x   []float64 // cached input
+	y   []float64 // output buffer
+	gin []float64 // input-gradient buffer
+}
+
+// NewConv2D returns a same-padded stride-1 convolution with a square odd
+// kernel of size k, mapping in (H×W×C) to H×W×outC.
+func NewConv2D(in Shape, outC, k int, scheme InitScheme) *Conv2D {
+	if in.H <= 0 || in.W <= 0 || in.C <= 0 || outC <= 0 {
+		panic("nn: Conv2D with non-positive dimension")
+	}
+	if k <= 0 || k%2 == 0 {
+		panic("nn: Conv2D kernel must be positive and odd")
+	}
+	l := &Conv2D{in: in, outC: outC, k: k, scheme: scheme}
+	l.x = make([]float64, in.Size())
+	l.y = make([]float64, l.OutShape().Size())
+	l.gin = make([]float64, in.Size())
+	return l
+}
+
+// OutShape returns the output volume (same H, W; outC channels).
+func (l *Conv2D) OutShape() Shape { return Shape{H: l.in.H, W: l.in.W, C: l.outC} }
+
+func (l *Conv2D) InDim() int  { return l.in.Size() }
+func (l *Conv2D) OutDim() int { return l.OutShape().Size() }
+
+func (l *Conv2D) ParamCount() int { return l.outC*l.in.C*l.k*l.k + l.outC }
+
+func (l *Conv2D) Bind(params, grads []float64) {
+	nW := l.outC * l.in.C * l.k * l.k
+	l.w, l.b = params[:nW], params[nW:]
+	l.gw, l.gb = grads[:nW], grads[nW:]
+}
+
+func (l *Conv2D) Init(rng *tensor.RNG) {
+	fanIn := l.in.C * l.k * l.k
+	fanOut := l.outC * l.k * l.k
+	switch l.scheme {
+	case HeNormalInit:
+		tensor.HeNormal(rng, l.w, fanIn)
+	default:
+		tensor.GlorotUniform(rng, l.w, fanIn, fanOut)
+	}
+	tensor.Zero(l.b)
+}
+
+// widx returns the flat weight index for (oc, ic, ki, kj).
+func (l *Conv2D) widx(oc, ic, ki, kj int) int {
+	return ((oc*l.in.C+ic)*l.k+ki)*l.k + kj
+}
+
+func (l *Conv2D) Forward(x []float64, _ bool) []float64 {
+	copy(l.x, x)
+	h, w, inC := l.in.H, l.in.W, l.in.C
+	pad := l.k / 2
+	plane := h * w
+	for oc := 0; oc < l.outC; oc++ {
+		out := l.y[oc*plane : (oc+1)*plane]
+		tensor.Fill(out, l.b[oc])
+		for ic := 0; ic < inC; ic++ {
+			xin := x[ic*plane : (ic+1)*plane]
+			for ki := 0; ki < l.k; ki++ {
+				for kj := 0; kj < l.k; kj++ {
+					wv := l.w[l.widx(oc, ic, ki, kj)]
+					if wv == 0 {
+						continue
+					}
+					di, dj := ki-pad, kj-pad
+					iLo, iHi := max(0, -di), min(h, h-di)
+					jLo, jHi := max(0, -dj), min(w, w-dj)
+					for i := iLo; i < iHi; i++ {
+						srcRow := xin[(i+di)*w:]
+						dstRow := out[i*w:]
+						for j := jLo; j < jHi; j++ {
+							dstRow[j] += wv * srcRow[j+dj]
+						}
+					}
+				}
+			}
+		}
+	}
+	return l.y
+}
+
+func (l *Conv2D) Backward(gradOut []float64) []float64 {
+	h, w, inC := l.in.H, l.in.W, l.in.C
+	pad := l.k / 2
+	plane := h * w
+	tensor.Zero(l.gin)
+	for oc := 0; oc < l.outC; oc++ {
+		gout := gradOut[oc*plane : (oc+1)*plane]
+		var bsum float64
+		for _, g := range gout {
+			bsum += g
+		}
+		l.gb[oc] += bsum
+		for ic := 0; ic < inC; ic++ {
+			xin := l.x[ic*plane : (ic+1)*plane]
+			gin := l.gin[ic*plane : (ic+1)*plane]
+			for ki := 0; ki < l.k; ki++ {
+				for kj := 0; kj < l.k; kj++ {
+					di, dj := ki-pad, kj-pad
+					iLo, iHi := max(0, -di), min(h, h-di)
+					jLo, jHi := max(0, -dj), min(w, w-dj)
+					var wgrad float64
+					wv := l.w[l.widx(oc, ic, ki, kj)]
+					for i := iLo; i < iHi; i++ {
+						srcRow := xin[(i+di)*w:]
+						ginRow := gin[(i+di)*w:]
+						goutRow := gout[i*w:]
+						for j := jLo; j < jHi; j++ {
+							g := goutRow[j]
+							wgrad += g * srcRow[j+dj]
+							ginRow[j+dj] += g * wv
+						}
+					}
+					l.gw[l.widx(oc, ic, ki, kj)] += wgrad
+				}
+			}
+		}
+	}
+	return l.gin
+}
+
+// MaxPool2D is a non-overlapping max pooling layer with a square window.
+// Input dimensions must be divisible by the window size.
+type MaxPool2D struct {
+	in   Shape
+	size int
+
+	arg []int // argmax input index per output element
+	y   []float64
+	gin []float64
+}
+
+// NewMaxPool2D returns a size×size max pool over in.
+func NewMaxPool2D(in Shape, size int) *MaxPool2D {
+	if size <= 0 || in.H%size != 0 || in.W%size != 0 {
+		panic("nn: MaxPool2D window must evenly divide input")
+	}
+	l := &MaxPool2D{in: in, size: size}
+	l.arg = make([]int, l.OutShape().Size())
+	l.y = make([]float64, l.OutShape().Size())
+	l.gin = make([]float64, in.Size())
+	return l
+}
+
+// OutShape returns the pooled volume.
+func (l *MaxPool2D) OutShape() Shape {
+	return Shape{H: l.in.H / l.size, W: l.in.W / l.size, C: l.in.C}
+}
+
+func (l *MaxPool2D) InDim() int          { return l.in.Size() }
+func (l *MaxPool2D) OutDim() int         { return l.OutShape().Size() }
+func (l *MaxPool2D) ParamCount() int     { return 0 }
+func (l *MaxPool2D) Bind(_, _ []float64) {}
+func (l *MaxPool2D) Init(_ *tensor.RNG)  {}
+
+func (l *MaxPool2D) Forward(x []float64, _ bool) []float64 {
+	h, w := l.in.H, l.in.W
+	oh, ow := h/l.size, w/l.size
+	for c := 0; c < l.in.C; c++ {
+		xin := x[c*h*w:]
+		for i := 0; i < oh; i++ {
+			for j := 0; j < ow; j++ {
+				bestIdx := (i*l.size)*w + j*l.size
+				best := xin[bestIdx]
+				for di := 0; di < l.size; di++ {
+					for dj := 0; dj < l.size; dj++ {
+						idx := (i*l.size+di)*w + j*l.size + dj
+						if xin[idx] > best {
+							best = xin[idx]
+							bestIdx = idx
+						}
+					}
+				}
+				o := c*oh*ow + i*ow + j
+				l.y[o] = best
+				l.arg[o] = c*h*w + bestIdx
+			}
+		}
+	}
+	return l.y
+}
+
+func (l *MaxPool2D) Backward(gradOut []float64) []float64 {
+	tensor.Zero(l.gin)
+	for o, src := range l.arg {
+		l.gin[src] += gradOut[o]
+	}
+	return l.gin
+}
+
+// GlobalAvgPool averages each channel plane to a single value, as the
+// DenseNet-style models do before their classifier head.
+type GlobalAvgPool struct {
+	in  Shape
+	y   []float64
+	gin []float64
+}
+
+// NewGlobalAvgPool returns a global average pool over in.
+func NewGlobalAvgPool(in Shape) *GlobalAvgPool {
+	return &GlobalAvgPool{in: in, y: make([]float64, in.C), gin: make([]float64, in.Size())}
+}
+
+func (l *GlobalAvgPool) InDim() int          { return l.in.Size() }
+func (l *GlobalAvgPool) OutDim() int         { return l.in.C }
+func (l *GlobalAvgPool) ParamCount() int     { return 0 }
+func (l *GlobalAvgPool) Bind(_, _ []float64) {}
+func (l *GlobalAvgPool) Init(_ *tensor.RNG)  {}
+
+func (l *GlobalAvgPool) Forward(x []float64, _ bool) []float64 {
+	plane := l.in.H * l.in.W
+	for c := 0; c < l.in.C; c++ {
+		var s float64
+		for _, v := range x[c*plane : (c+1)*plane] {
+			s += v
+		}
+		l.y[c] = s / float64(plane)
+	}
+	return l.y
+}
+
+func (l *GlobalAvgPool) Backward(gradOut []float64) []float64 {
+	plane := l.in.H * l.in.W
+	inv := 1 / float64(plane)
+	for c := 0; c < l.in.C; c++ {
+		g := gradOut[c] * inv
+		gin := l.gin[c*plane : (c+1)*plane]
+		for i := range gin {
+			gin[i] = g
+		}
+	}
+	return l.gin
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

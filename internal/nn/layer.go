@@ -1,0 +1,139 @@
+// Package nn is a from-scratch neural-network training stack: layers with
+// explicit backpropagation, softmax cross-entropy loss, and networks whose
+// parameters live in a single contiguous flat vector.
+//
+// The flat-parameter design is what the FDA protocol needs: worker drift
+// u = w − w_t0, model variance, sketching, and model AllReduce are all
+// plain vector operations over Network.Params() with no per-layer
+// marshalling. Layers receive sub-slices of the flat vector at bind time
+// and view them as matrices in place.
+//
+// The stack is deliberately per-sample (mini-batches loop over samples and
+// average gradients): at the model sizes used in this reproduction the
+// simplicity and cache behaviour beat an im2col/GEMM pipeline, and the
+// numerics are easier to verify with finite differences.
+package nn
+
+import "repro/internal/tensor"
+
+// Layer is one differentiable stage of a network.
+//
+// The Forward/Backward contract is single-sample: Forward consumes an
+// input activation vector and returns the output activation; Backward
+// consumes ∂L/∂output, accumulates parameter gradients into the bound
+// gradient slice, and returns ∂L/∂input. Backward must be called directly
+// after the Forward whose cached activations it consumes.
+type Layer interface {
+	// InDim and OutDim report the activation vector sizes.
+	InDim() int
+	OutDim() int
+	// ParamCount reports how many scalars of the flat parameter vector
+	// this layer owns.
+	ParamCount() int
+	// Bind attaches the layer to its slice of the network's flat parameter
+	// and gradient vectors. Both slices have length ParamCount.
+	Bind(params, grads []float64)
+	// Init writes initial weights into the bound parameter slice.
+	Init(rng *tensor.RNG)
+	// Forward computes the layer output for input x. When train is false,
+	// stochastic layers (dropout) act as identity×expectation.
+	Forward(x []float64, train bool) []float64
+	// Backward propagates the gradient; see the interface comment.
+	Backward(gradOut []float64) []float64
+}
+
+// Shape describes a (height, width, channels) activation volume for
+// spatial layers. Dense layers treat activations as flat vectors.
+type Shape struct {
+	H, W, C int
+}
+
+// Size returns the flattened length of the volume.
+func (s Shape) Size() int { return s.H * s.W * s.C }
+
+// relu, tanh and sigmoid are implemented as stateless-parameter layers
+// that cache their forward activations.
+
+// ReLU is the rectified-linear activation layer.
+type ReLU struct {
+	dim int
+	in  []float64
+	out []float64
+}
+
+// NewReLU returns a ReLU over dim-length activations.
+func NewReLU(dim int) *ReLU {
+	return &ReLU{dim: dim, in: make([]float64, dim), out: make([]float64, dim)}
+}
+
+func (l *ReLU) InDim() int          { return l.dim }
+func (l *ReLU) OutDim() int         { return l.dim }
+func (l *ReLU) ParamCount() int     { return 0 }
+func (l *ReLU) Bind(_, _ []float64) {}
+func (l *ReLU) Init(_ *tensor.RNG)  {}
+func (l *ReLU) Forward(x []float64, _ bool) []float64 {
+	copy(l.in, x)
+	for i, v := range x {
+		if v > 0 {
+			l.out[i] = v
+		} else {
+			l.out[i] = 0
+		}
+	}
+	return l.out
+}
+
+func (l *ReLU) Backward(gradOut []float64) []float64 {
+	g := make([]float64, l.dim)
+	for i, v := range l.in {
+		if v > 0 {
+			g[i] = gradOut[i]
+		}
+	}
+	return g
+}
+
+// Tanh is the hyperbolic-tangent activation layer.
+type Tanh struct {
+	dim int
+	out []float64
+}
+
+// NewTanh returns a Tanh over dim-length activations.
+func NewTanh(dim int) *Tanh {
+	return &Tanh{dim: dim, out: make([]float64, dim)}
+}
+
+func (l *Tanh) InDim() int          { return l.dim }
+func (l *Tanh) OutDim() int         { return l.dim }
+func (l *Tanh) ParamCount() int     { return 0 }
+func (l *Tanh) Bind(_, _ []float64) {}
+func (l *Tanh) Init(_ *tensor.RNG)  {}
+
+func (l *Tanh) Forward(x []float64, _ bool) []float64 {
+	for i, v := range x {
+		l.out[i] = tanh(v)
+	}
+	return l.out
+}
+
+func (l *Tanh) Backward(gradOut []float64) []float64 {
+	g := make([]float64, l.dim)
+	for i, y := range l.out {
+		g[i] = gradOut[i] * (1 - y*y)
+	}
+	return g
+}
+
+// tanh avoids importing math in the hot path signature; math.Tanh is fine.
+func tanh(x float64) float64 {
+	// Clamp to avoid overflow in exp for extreme activations.
+	if x > 20 {
+		return 1
+	}
+	if x < -20 {
+		return -1
+	}
+	e2 := exp(2 * x)
+	return (e2 - 1) / (e2 + 1)
+}

@@ -1,0 +1,190 @@
+package nn
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/tensor"
+
+	"repro/internal/data"
+)
+
+// Network is a feed-forward stack of layers whose parameters live in one
+// contiguous flat vector, the representation required by the FDA protocol
+// (drift, variance and AllReduce are all flat-vector operations).
+type Network struct {
+	layers []Layer
+	params []float64
+	grads  []float64
+	// frozen marks a prefix of the parameter vector excluded from
+	// gradient updates (used by the transfer-learning model to emulate a
+	// feature extractor that is fixed in the feature-extraction stage).
+	frozen int
+}
+
+// New wires layers into a network, allocates the flat parameter and
+// gradient vectors, binds each layer's slice, and initializes weights
+// using rng. It panics if consecutive layer dimensions do not match.
+func New(rng *tensor.RNG, layers ...Layer) *Network {
+	if len(layers) == 0 {
+		panic("nn: network with no layers")
+	}
+	total := 0
+	for i, l := range layers {
+		if i > 0 && layers[i-1].OutDim() != l.InDim() {
+			panic(fmt.Sprintf("nn: layer %d expects input %d but previous output is %d",
+				i, l.InDim(), layers[i-1].OutDim()))
+		}
+		total += l.ParamCount()
+	}
+	n := &Network{
+		layers: layers,
+		params: make([]float64, total),
+		grads:  make([]float64, total),
+	}
+	off := 0
+	for _, l := range layers {
+		c := l.ParamCount()
+		l.Bind(n.params[off:off+c], n.grads[off:off+c])
+		l.Init(rng)
+		off += c
+	}
+	return n
+}
+
+// NumParams returns the model dimension d.
+func (n *Network) NumParams() int { return len(n.params) }
+
+// Params returns the live flat parameter vector. Mutating it (for example
+// overwriting it with an AllReduce average) changes the model in place.
+func (n *Network) Params() []float64 { return n.params }
+
+// Grads returns the live flat gradient accumulation vector.
+func (n *Network) Grads() []float64 { return n.grads }
+
+// ZeroGrads clears the gradient accumulator.
+func (n *Network) ZeroGrads() { tensor.Zero(n.grads) }
+
+// SetParams copies w into the network's parameter vector.
+func (n *Network) SetParams(w []float64) {
+	if len(w) != len(n.params) {
+		panic("nn: SetParams dimension mismatch")
+	}
+	copy(n.params, w)
+}
+
+// InDim and OutDim report the network's activation interface.
+func (n *Network) InDim() int  { return n.layers[0].InDim() }
+func (n *Network) OutDim() int { return n.layers[len(n.layers)-1].OutDim() }
+
+// Freeze marks the first `count` parameters as frozen: LossGradBatch still
+// computes their gradients but zeroes them before returning, so any
+// optimizer leaves them untouched. Freeze(0) unfreezes everything.
+func (n *Network) Freeze(count int) {
+	if count < 0 || count > len(n.params) {
+		panic("nn: Freeze count out of range")
+	}
+	n.frozen = count
+}
+
+// Frozen returns the number of frozen leading parameters.
+func (n *Network) Frozen() int { return n.frozen }
+
+// Forward runs the network on one input and returns the logits. The
+// returned slice is an internal buffer, valid until the next Forward.
+func (n *Network) Forward(x []float64, train bool) []float64 {
+	a := x
+	for _, l := range n.layers {
+		a = l.Forward(a, train)
+	}
+	return a
+}
+
+// backward propagates dL/dlogits through all layers, accumulating
+// parameter gradients.
+func (n *Network) backward(gradOut []float64) {
+	g := gradOut
+	for i := len(n.layers) - 1; i >= 0; i-- {
+		g = n.layers[i].Backward(g)
+	}
+}
+
+// LossGradBatch runs forward+backward over a mini-batch with softmax
+// cross-entropy loss, leaving the batch-mean gradient in Grads() and
+// returning the mean loss. Any frozen prefix of the gradient is zeroed.
+func (n *Network) LossGradBatch(b data.Batch) float64 {
+	if len(b.X) == 0 {
+		panic("nn: empty batch")
+	}
+	n.ZeroGrads()
+	var loss float64
+	probs := make([]float64, n.OutDim())
+	for i := range b.X {
+		logits := n.Forward(b.X[i], true)
+		loss += SoftmaxCrossEntropy(probs, logits, b.Y[i])
+		// probs now holds softmax(logits) − onehot(y) = dL/dlogits.
+		n.backward(probs)
+	}
+	inv := 1 / float64(len(b.X))
+	tensor.Scale(n.grads, inv)
+	if n.frozen > 0 {
+		tensor.Zero(n.grads[:n.frozen])
+	}
+	return loss * inv
+}
+
+// Loss returns the mean softmax cross-entropy over a dataset without
+// touching gradients (dropout disabled).
+func (n *Network) Loss(ds *data.Dataset) float64 {
+	probs := make([]float64, n.OutDim())
+	var loss float64
+	for i := range ds.X {
+		logits := n.Forward(ds.X[i], false)
+		loss += SoftmaxCrossEntropy(probs, logits, ds.Y[i])
+	}
+	return loss / float64(ds.Len())
+}
+
+// Accuracy returns the top-1 accuracy over a dataset (dropout disabled).
+func (n *Network) Accuracy(ds *data.Dataset) float64 {
+	correct := 0
+	for i := range ds.X {
+		logits := n.Forward(ds.X[i], false)
+		if tensor.ArgMax(logits) == ds.Y[i] {
+			correct++
+		}
+	}
+	return float64(correct) / float64(ds.Len())
+}
+
+// SoftmaxCrossEntropy computes the cross-entropy loss of logits against
+// label y and writes dL/dlogits = softmax(logits) − onehot(y) into grad.
+// grad must have the same length as logits.
+func SoftmaxCrossEntropy(grad, logits []float64, y int) float64 {
+	if len(grad) != len(logits) {
+		panic("nn: SoftmaxCrossEntropy buffer mismatch")
+	}
+	if y < 0 || y >= len(logits) {
+		panic("nn: label out of range")
+	}
+	// Stable softmax.
+	maxv := logits[0]
+	for _, v := range logits[1:] {
+		if v > maxv {
+			maxv = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - maxv)
+		grad[i] = e
+		sum += e
+	}
+	inv := 1 / sum
+	for i := range grad {
+		grad[i] *= inv
+	}
+	loss := -math.Log(grad[y] + 1e-300)
+	grad[y] -= 1
+	return loss
+}

@@ -1,0 +1,350 @@
+package nn
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/data"
+	"repro/internal/tensor"
+)
+
+// batchLoss computes the mean loss of a batch without gradients, used as
+// the reference function for finite differences.
+func batchLoss(n *Network, b data.Batch) float64 {
+	probs := make([]float64, n.OutDim())
+	var loss float64
+	for i := range b.X {
+		logits := n.Forward(b.X[i], true)
+		loss += SoftmaxCrossEntropy(probs, logits, b.Y[i])
+	}
+	return loss / float64(len(b.X))
+}
+
+// gradCheck compares LossGradBatch's analytic gradient with central
+// finite differences on every parameter.
+func gradCheck(t *testing.T, n *Network, b data.Batch, tol float64) {
+	t.Helper()
+	analytic := tensor.Clone(func() []float64 { n.LossGradBatch(b); return n.Grads() }())
+	params := n.Params()
+	const h = 1e-5
+	for i := range params {
+		orig := params[i]
+		params[i] = orig + h
+		lp := batchLoss(n, b)
+		params[i] = orig - h
+		lm := batchLoss(n, b)
+		params[i] = orig
+		numeric := (lp - lm) / (2 * h)
+		if math.Abs(numeric-analytic[i]) > tol*(1+math.Abs(numeric)) {
+			t.Fatalf("param %d: analytic %v numeric %v", i, analytic[i], numeric)
+		}
+	}
+}
+
+func smallBatch(rng *tensor.RNG, dim, classes, n int) data.Batch {
+	b := data.Batch{X: make([][]float64, n), Y: make([]int, n)}
+	for i := 0; i < n; i++ {
+		x := make([]float64, dim)
+		tensor.Normal(rng, x, 0, 1)
+		b.X[i] = x
+		b.Y[i] = rng.Intn(classes)
+	}
+	return b
+}
+
+func TestDenseGradientCheck(t *testing.T) {
+	rng := tensor.NewRNG(1)
+	n := New(rng,
+		NewDense(6, 5, GlorotUniformInit),
+		NewReLU(5),
+		NewDense(5, 3, GlorotUniformInit),
+	)
+	gradCheck(t, n, smallBatch(rng, 6, 3, 4), 1e-4)
+}
+
+func TestTanhGradientCheck(t *testing.T) {
+	rng := tensor.NewRNG(2)
+	n := New(rng,
+		NewDense(4, 6, HeNormalInit),
+		NewTanh(6),
+		NewDense(6, 2, HeNormalInit),
+	)
+	gradCheck(t, n, smallBatch(rng, 4, 2, 3), 1e-4)
+}
+
+func TestConvGradientCheck(t *testing.T) {
+	rng := tensor.NewRNG(3)
+	in := Shape{H: 4, W: 4, C: 2}
+	conv := NewConv2D(in, 3, 3, GlorotUniformInit)
+	pool := NewMaxPool2D(conv.OutShape(), 2)
+	n := New(rng,
+		conv,
+		NewReLU(conv.OutDim()),
+		pool,
+		NewDense(pool.OutDim(), 3, GlorotUniformInit),
+	)
+	gradCheck(t, n, smallBatch(rng, in.Size(), 3, 2), 1e-4)
+}
+
+func TestGlobalAvgPoolGradientCheck(t *testing.T) {
+	rng := tensor.NewRNG(4)
+	in := Shape{H: 3, W: 3, C: 2}
+	conv := NewConv2D(in, 4, 3, HeNormalInit)
+	gap := NewGlobalAvgPool(conv.OutShape())
+	n := New(rng,
+		conv,
+		NewTanh(conv.OutDim()),
+		gap,
+		NewDense(gap.OutDim(), 2, HeNormalInit),
+	)
+	gradCheck(t, n, smallBatch(rng, in.Size(), 2, 2), 1e-4)
+}
+
+func TestSoftmaxCrossEntropyProperties(t *testing.T) {
+	logits := []float64{1, 2, 3}
+	grad := make([]float64, 3)
+	loss := SoftmaxCrossEntropy(grad, logits, 2)
+	if loss <= 0 {
+		t.Fatalf("loss = %v", loss)
+	}
+	// grad sums to zero (softmax sums to 1, minus one at the label).
+	var sum float64
+	for _, g := range grad {
+		sum += g
+	}
+	if math.Abs(sum) > 1e-12 {
+		t.Fatalf("grad sum = %v", sum)
+	}
+	// Gradient at label is negative, others positive.
+	if grad[2] >= 0 || grad[0] <= 0 || grad[1] <= 0 {
+		t.Fatalf("grad signs wrong: %v", grad)
+	}
+}
+
+func TestSoftmaxCrossEntropyStability(t *testing.T) {
+	logits := []float64{1000, -1000, 0}
+	grad := make([]float64, 3)
+	loss := SoftmaxCrossEntropy(grad, logits, 0)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("loss not finite: %v", loss)
+	}
+	if loss > 1e-6 {
+		t.Fatalf("confident correct prediction should have ~0 loss, got %v", loss)
+	}
+	loss = SoftmaxCrossEntropy(grad, logits, 1)
+	if math.IsNaN(loss) || math.IsInf(loss, 0) {
+		t.Fatalf("worst-case loss not finite: %v", loss)
+	}
+}
+
+func TestNetworkDimensionValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for mismatched layers")
+		}
+	}()
+	New(tensor.NewRNG(1), NewDense(4, 5, GlorotUniformInit), NewDense(6, 2, GlorotUniformInit))
+}
+
+func TestParamsAliasing(t *testing.T) {
+	rng := tensor.NewRNG(5)
+	n := New(rng, NewDense(3, 2, GlorotUniformInit))
+	x := []float64{1, 2, 3}
+	before := tensor.Clone(n.Forward(x, false))
+	// Zeroing the flat vector must change the layer's behaviour: the layer
+	// views, not copies, its parameters.
+	tensor.Zero(n.Params())
+	after := n.Forward(x, false)
+	for i := range after {
+		if after[i] != 0 {
+			t.Fatalf("output %v after zeroing params; flat vector not aliased (before %v)", after, before)
+		}
+	}
+}
+
+func TestSetParamsRoundTrip(t *testing.T) {
+	rng := tensor.NewRNG(6)
+	n := New(rng, NewDense(3, 2, GlorotUniformInit))
+	w := make([]float64, n.NumParams())
+	tensor.Normal(rng, w, 0, 1)
+	n.SetParams(w)
+	got := n.Params()
+	for i := range w {
+		if got[i] != w[i] {
+			t.Fatal("SetParams did not copy")
+		}
+	}
+	w[0] = 999
+	if got[0] == 999 {
+		t.Fatal("SetParams aliases caller slice")
+	}
+}
+
+func TestFreezeZeroesGradientPrefix(t *testing.T) {
+	rng := tensor.NewRNG(7)
+	d1 := NewDense(4, 4, GlorotUniformInit)
+	n := New(rng, d1, NewReLU(4), NewDense(4, 2, GlorotUniformInit))
+	n.Freeze(d1.ParamCount())
+	n.LossGradBatch(smallBatch(rng, 4, 2, 3))
+	g := n.Grads()
+	for i := 0; i < d1.ParamCount(); i++ {
+		if g[i] != 0 {
+			t.Fatalf("frozen gradient %d = %v", i, g[i])
+		}
+	}
+	nonzero := false
+	for _, v := range g[d1.ParamCount():] {
+		if v != 0 {
+			nonzero = true
+			break
+		}
+	}
+	if !nonzero {
+		t.Fatal("head gradient entirely zero")
+	}
+}
+
+func TestDropoutTrainEval(t *testing.T) {
+	rng := tensor.NewRNG(8)
+	l := NewDropout(1000, 0.5, rng)
+	x := make([]float64, 1000)
+	tensor.Fill(x, 1)
+	// Eval mode: identity.
+	out := l.Forward(x, false)
+	for _, v := range out {
+		if v != 1 {
+			t.Fatalf("eval dropout changed activation: %v", v)
+		}
+	}
+	// Train mode: roughly half dropped, survivors scaled by 2.
+	out = l.Forward(x, true)
+	zeros, twos := 0, 0
+	for _, v := range out {
+		switch v {
+		case 0:
+			zeros++
+		case 2:
+			twos++
+		default:
+			t.Fatalf("unexpected dropout output %v", v)
+		}
+	}
+	if zeros < 350 || zeros > 650 {
+		t.Fatalf("dropout kept %d of 1000 at rate 0.5", 1000-zeros)
+	}
+	if zeros+twos != 1000 {
+		t.Fatal("dropout outputs inconsistent")
+	}
+}
+
+func TestDropoutBackwardMatchesMask(t *testing.T) {
+	rng := tensor.NewRNG(9)
+	l := NewDropout(50, 0.3, rng)
+	x := make([]float64, 50)
+	tensor.Fill(x, 1)
+	out := l.Forward(x, true)
+	g := make([]float64, 50)
+	tensor.Fill(g, 1)
+	gin := l.Backward(g)
+	for i := range out {
+		if (out[i] == 0) != (gin[i] == 0) {
+			t.Fatalf("gradient mask mismatch at %d", i)
+		}
+	}
+}
+
+func TestMaxPoolForwardBackward(t *testing.T) {
+	p := NewMaxPool2D(Shape{H: 2, W: 2, C: 1}, 2)
+	out := p.Forward([]float64{1, 5, 3, 2}, false)
+	if len(out) != 1 || out[0] != 5 {
+		t.Fatalf("maxpool out %v", out)
+	}
+	gin := p.Backward([]float64{7})
+	want := []float64{0, 7, 0, 0}
+	for i := range want {
+		if gin[i] != want[i] {
+			t.Fatalf("maxpool gin %v", gin)
+		}
+	}
+}
+
+func TestConv2DIdentityKernel(t *testing.T) {
+	// A 1-channel 3×3 conv initialized to the identity kernel must return
+	// the input (interior and border, thanks to zero padding).
+	in := Shape{H: 3, W: 3, C: 1}
+	c := NewConv2D(in, 1, 3, GlorotUniformInit)
+	n := New(tensor.NewRNG(1), c)
+	tensor.Zero(n.Params())
+	// kernel center = 1.
+	n.Params()[4] = 1
+	x := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9}
+	out := n.Forward(x, false)
+	for i := range x {
+		if out[i] != x[i] {
+			t.Fatalf("identity conv out %v", out)
+		}
+	}
+}
+
+func TestConv2DBias(t *testing.T) {
+	in := Shape{H: 2, W: 2, C: 1}
+	c := NewConv2D(in, 2, 1, GlorotUniformInit)
+	n := New(tensor.NewRNG(1), c)
+	tensor.Zero(n.Params())
+	// weights zero, biases 3 and -1 (weights = outC*inC*1*1 = 2 scalars).
+	n.Params()[2] = 3
+	n.Params()[3] = -1
+	out := n.Forward([]float64{9, 9, 9, 9}, false)
+	want := []float64{3, 3, 3, 3, -1, -1, -1, -1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("conv bias out %v", out)
+		}
+	}
+}
+
+func TestAccuracyAndLoss(t *testing.T) {
+	rng := tensor.NewRNG(10)
+	train, test := data.MNISTLike(1)
+	_ = train
+	n := New(rng,
+		NewDense(test.Dim(), 32, GlorotUniformInit),
+		NewReLU(32),
+		NewDense(32, 10, GlorotUniformInit),
+	)
+	acc := n.Accuracy(test)
+	if acc < 0 || acc > 1 {
+		t.Fatalf("accuracy %v", acc)
+	}
+	loss := n.Loss(test)
+	if loss <= 0 || math.IsNaN(loss) {
+		t.Fatalf("loss %v", loss)
+	}
+	// Untrained 10-class accuracy should be near chance.
+	if acc > 0.5 {
+		t.Fatalf("untrained accuracy suspiciously high: %v", acc)
+	}
+}
+
+// A small end-to-end sanity check: plain SGD on the synthetic task should
+// reach well-above-chance accuracy quickly.
+func TestNetworkLearns(t *testing.T) {
+	rng := tensor.NewRNG(11)
+	train, test := data.MNISTLike(2)
+	nz := data.FitNormalizer(train)
+	nz.Apply(train)
+	nz.Apply(test)
+	n := New(rng,
+		NewDense(train.Dim(), 32, GlorotUniformInit),
+		NewReLU(32),
+		NewDense(32, 10, GlorotUniformInit),
+	)
+	s := data.NewSampler(train, tensor.NewRNG(12))
+	for step := 0; step < 300; step++ {
+		n.LossGradBatch(s.Sample(32))
+		tensor.AXPY(-0.05, n.Grads(), n.Params())
+	}
+	if acc := n.Accuracy(test); acc < 0.6 {
+		t.Fatalf("SGD reached only %.3f accuracy", acc)
+	}
+}

@@ -1,0 +1,193 @@
+// Package opt implements the stochastic optimizers used by the paper's
+// experiments: SGD, SGD with (Nesterov) momentum, Adam and AdamW for local
+// optimization, and the same algorithms reused as *server* optimizers by
+// the FedOpt baselines (FedAvgM = server SGD-momentum, FedAdam = server
+// Adam) applied to pseudo-gradients.
+//
+// All optimizers mutate a flat parameter vector in place given a gradient
+// vector of the same length, matching the flat-model representation in
+// internal/nn.
+package opt
+
+import "math"
+
+// Optimizer updates parameters in place from a gradient.
+type Optimizer interface {
+	// Step applies one update. params and grads must have equal lengths,
+	// constant across calls (state buffers are sized on first use).
+	Step(params, grads []float64)
+	// Reset clears internal state (moments, step counters).
+	Reset()
+	// Name identifies the optimizer for logs and experiment tables.
+	Name() string
+}
+
+// Factory builds a fresh optimizer; each simulated worker gets its own
+// instance so state (momentum, Adam moments) stays local, as it would on
+// real worker hardware.
+type Factory func() Optimizer
+
+// SGD is plain stochastic gradient descent with optional L2 weight decay.
+type SGD struct {
+	LR          float64
+	WeightDecay float64
+}
+
+// NewSGD returns an SGD factory.
+func NewSGD(lr float64) Factory {
+	return func() Optimizer { return &SGD{LR: lr} }
+}
+
+// Step implements Optimizer.
+func (o *SGD) Step(params, grads []float64) {
+	checkLens(params, grads)
+	for i := range params {
+		g := grads[i]
+		if o.WeightDecay != 0 {
+			g += o.WeightDecay * params[i]
+		}
+		params[i] -= o.LR * g
+	}
+}
+
+// Reset implements Optimizer.
+func (o *SGD) Reset() {}
+
+// Name implements Optimizer.
+func (o *SGD) Name() string { return "SGD" }
+
+// Momentum is SGD with classical or Nesterov momentum and optional L2
+// weight decay. With Nesterov=true and Mu=0.9 it matches the paper's
+// "SGD-NM" local optimizer for the DenseNet experiments.
+type Momentum struct {
+	LR          float64
+	Mu          float64
+	Nesterov    bool
+	WeightDecay float64
+
+	velocity []float64
+}
+
+// NewSGDMomentum returns a classical-momentum factory.
+func NewSGDMomentum(lr, mu float64) Factory {
+	return func() Optimizer { return &Momentum{LR: lr, Mu: mu} }
+}
+
+// NewSGDNesterov returns a Nesterov-momentum factory (the paper's SGD-NM).
+func NewSGDNesterov(lr, mu, weightDecay float64) Factory {
+	return func() Optimizer {
+		return &Momentum{LR: lr, Mu: mu, Nesterov: true, WeightDecay: weightDecay}
+	}
+}
+
+// Step implements Optimizer.
+func (o *Momentum) Step(params, grads []float64) {
+	checkLens(params, grads)
+	if o.velocity == nil {
+		o.velocity = make([]float64, len(params))
+	}
+	for i := range params {
+		g := grads[i]
+		if o.WeightDecay != 0 {
+			g += o.WeightDecay * params[i]
+		}
+		v := o.Mu*o.velocity[i] + g
+		o.velocity[i] = v
+		if o.Nesterov {
+			// Nesterov look-ahead: effective update uses g + mu*v.
+			params[i] -= o.LR * (g + o.Mu*v)
+		} else {
+			params[i] -= o.LR * v
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Momentum) Reset() { o.velocity = nil }
+
+// Name implements Optimizer.
+func (o *Momentum) Name() string {
+	if o.Nesterov {
+		return "SGD-NM"
+	}
+	return "SGD-M"
+}
+
+// Adam implements Kingma & Ba's Adam with bias correction and optional
+// coupled L2 weight decay (added to the gradient, as in classic Adam).
+type Adam struct {
+	LR          float64
+	Beta1       float64
+	Beta2       float64
+	Eps         float64
+	WeightDecay float64 // coupled L2 (added to gradient)
+	Decoupled   bool    // true = AdamW: decay applied directly to weights
+
+	m, v []float64
+	t    int
+}
+
+// NewAdam returns an Adam factory with the default hyper-parameters from
+// the paper's references (lr=1e-3, β1=0.9, β2=0.999, ε=1e-7 as in Keras).
+func NewAdam(lr float64) Factory {
+	return func() Optimizer {
+		return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7}
+	}
+}
+
+// NewAdamW returns an AdamW factory (decoupled weight decay), the paper's
+// optimizer for the ConvNeXt fine-tuning experiment.
+func NewAdamW(lr, weightDecay float64) Factory {
+	return func() Optimizer {
+		return &Adam{
+			LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-7,
+			WeightDecay: weightDecay, Decoupled: true,
+		}
+	}
+}
+
+// Step implements Optimizer.
+func (o *Adam) Step(params, grads []float64) {
+	checkLens(params, grads)
+	if o.m == nil {
+		o.m = make([]float64, len(params))
+		o.v = make([]float64, len(params))
+	}
+	o.t++
+	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
+	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
+	for i := range params {
+		g := grads[i]
+		if o.WeightDecay != 0 && !o.Decoupled {
+			g += o.WeightDecay * params[i]
+		}
+		o.m[i] = o.Beta1*o.m[i] + (1-o.Beta1)*g
+		o.v[i] = o.Beta2*o.v[i] + (1-o.Beta2)*g*g
+		mhat := o.m[i] / b1c
+		vhat := o.v[i] / b2c
+		params[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
+		if o.WeightDecay != 0 && o.Decoupled {
+			params[i] -= o.LR * o.WeightDecay * params[i]
+		}
+	}
+}
+
+// Reset implements Optimizer.
+func (o *Adam) Reset() {
+	o.m, o.v = nil, nil
+	o.t = 0
+}
+
+// Name implements Optimizer.
+func (o *Adam) Name() string {
+	if o.Decoupled {
+		return "AdamW"
+	}
+	return "Adam"
+}
+
+func checkLens(params, grads []float64) {
+	if len(params) != len(grads) {
+		panic("opt: params/grads length mismatch")
+	}
+}

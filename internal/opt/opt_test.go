@@ -1,0 +1,190 @@
+package opt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// quadGrad writes the gradient of f(x) = 0.5‖x − target‖² into g.
+func quadGrad(g, x, target []float64) {
+	for i := range x {
+		g[i] = x[i] - target[i]
+	}
+}
+
+// minimizeQuadratic runs an optimizer on the quadratic and returns the
+// final distance to the optimum.
+func minimizeQuadratic(o Optimizer, steps int) float64 {
+	target := []float64{3, -2, 0.5, 7}
+	x := []float64{0, 0, 0, 0}
+	g := make([]float64, len(x))
+	for s := 0; s < steps; s++ {
+		quadGrad(g, x, target)
+		o.Step(x, g)
+	}
+	d := make([]float64, len(x))
+	tensor.Sub(d, x, target)
+	return tensor.Norm(d)
+}
+
+func TestAllOptimizersMinimizeQuadratic(t *testing.T) {
+	cases := []struct {
+		name  string
+		f     Factory
+		steps int
+		tol   float64
+	}{
+		{"sgd", NewSGD(0.1), 300, 1e-6},
+		{"momentum", NewSGDMomentum(0.05, 0.9), 400, 1e-6},
+		{"nesterov", NewSGDNesterov(0.05, 0.9, 0), 400, 1e-6},
+		{"adam", NewAdam(0.3), 600, 1e-3},
+		{"adamw", NewAdamW(0.3, 0), 600, 1e-3},
+	}
+	for _, c := range cases {
+		if d := minimizeQuadratic(c.f(), c.steps); d > c.tol {
+			t.Errorf("%s ended %v from optimum", c.name, d)
+		}
+	}
+}
+
+func TestSGDSingleStep(t *testing.T) {
+	o := &SGD{LR: 0.5}
+	x := []float64{1, 2}
+	o.Step(x, []float64{2, -4})
+	if x[0] != 0 || x[1] != 4 {
+		t.Fatalf("SGD step got %v", x)
+	}
+}
+
+func TestSGDWeightDecay(t *testing.T) {
+	o := &SGD{LR: 0.1, WeightDecay: 0.5}
+	x := []float64{2}
+	o.Step(x, []float64{0})
+	// g_eff = 0 + 0.5*2 = 1 ⇒ x = 2 − 0.1 = 1.9.
+	if math.Abs(x[0]-1.9) > 1e-12 {
+		t.Fatalf("decayed x = %v", x[0])
+	}
+}
+
+func TestMomentumAccumulates(t *testing.T) {
+	o := &Momentum{LR: 1, Mu: 0.5}
+	x := []float64{0}
+	o.Step(x, []float64{1}) // v=1, x=-1
+	o.Step(x, []float64{1}) // v=1.5, x=-2.5
+	if math.Abs(x[0]+2.5) > 1e-12 {
+		t.Fatalf("momentum x = %v", x[0])
+	}
+}
+
+func TestNesterovDiffersFromClassical(t *testing.T) {
+	classical := &Momentum{LR: 0.1, Mu: 0.9}
+	nesterov := &Momentum{LR: 0.1, Mu: 0.9, Nesterov: true}
+	xc := []float64{1}
+	xn := []float64{1}
+	g := []float64{1}
+	classical.Step(xc, g)
+	nesterov.Step(xn, g)
+	classical.Step(xc, g)
+	nesterov.Step(xn, g)
+	if xc[0] == xn[0] {
+		t.Fatal("Nesterov trajectory identical to classical momentum")
+	}
+}
+
+func TestAdamFirstStepIsSignedLR(t *testing.T) {
+	// With bias correction, the very first Adam step has magnitude ≈ LR
+	// regardless of gradient scale.
+	o := &Adam{LR: 0.01, Beta1: 0.9, Beta2: 0.999, Eps: 1e-12}
+	x := []float64{0, 0}
+	o.Step(x, []float64{1e-4, -1e4})
+	if math.Abs(x[0]+0.01) > 1e-6 || math.Abs(x[1]-0.01) > 1e-6 {
+		t.Fatalf("first Adam step %v, want ≈ (−0.01, +0.01)", x)
+	}
+}
+
+func TestAdamWDecaysWithoutGradient(t *testing.T) {
+	o := &Adam{LR: 0.1, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 0.1, Decoupled: true}
+	x := []float64{1}
+	o.Step(x, []float64{0})
+	// Zero gradient: only decoupled decay applies: x *= (1 − lr·wd).
+	if math.Abs(x[0]-0.99) > 1e-12 {
+		t.Fatalf("AdamW decayed to %v want 0.99", x[0])
+	}
+}
+
+func TestCoupledVsDecoupledDiffer(t *testing.T) {
+	coupled := &Adam{LR: 0.1, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 0.1}
+	decoupled := &Adam{LR: 0.1, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8, WeightDecay: 0.1, Decoupled: true}
+	xc := []float64{1}
+	xd := []float64{1}
+	for i := 0; i < 3; i++ {
+		coupled.Step(xc, []float64{0.5})
+		decoupled.Step(xd, []float64{0.5})
+	}
+	if xc[0] == xd[0] {
+		t.Fatal("coupled and decoupled decay coincide")
+	}
+}
+
+func TestResetClearsState(t *testing.T) {
+	o := &Momentum{LR: 0.1, Mu: 0.9}
+	x := []float64{0}
+	o.Step(x, []float64{1})
+	o.Reset()
+	x2 := []float64{0}
+	o.Step(x2, []float64{1})
+	// After reset the first step must equal a fresh optimizer's first step.
+	if x2[0] != -0.1 {
+		t.Fatalf("post-reset step %v want -0.1", x2[0])
+	}
+
+	a := &Adam{LR: 0.1, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+	y := []float64{0}
+	a.Step(y, []float64{1})
+	first := y[0]
+	a.Reset()
+	y2 := []float64{0}
+	a.Step(y2, []float64{1})
+	if y2[0] != first {
+		t.Fatalf("Adam post-reset step %v want %v", y2[0], first)
+	}
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]Factory{
+		"SGD":    NewSGD(0.1),
+		"SGD-M":  NewSGDMomentum(0.1, 0.9),
+		"SGD-NM": NewSGDNesterov(0.1, 0.9, 0),
+		"Adam":   NewAdam(0.1),
+		"AdamW":  NewAdamW(0.1, 0.01),
+	}
+	for want, f := range cases {
+		if got := f().Name(); got != want {
+			t.Errorf("Name = %q want %q", got, want)
+		}
+	}
+}
+
+func TestFactoriesProduceIndependentState(t *testing.T) {
+	f := NewSGDMomentum(0.1, 0.9)
+	a, b := f(), f()
+	x := []float64{0}
+	a.Step(x, []float64{1})
+	// b must behave as fresh.
+	y := []float64{0}
+	b.Step(y, []float64{1})
+	if y[0] != -0.1 {
+		t.Fatalf("second factory instance shares state: %v", y[0])
+	}
+}
+
+func TestLengthMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	(&SGD{LR: 0.1}).Step([]float64{1, 2}, []float64{1})
+}

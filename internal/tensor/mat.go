@@ -1,0 +1,128 @@
+package tensor
+
+import "fmt"
+
+// Mat is a dense row-major matrix backed by a contiguous float64 slice.
+// The backing slice may alias a region of a larger flat parameter vector,
+// which is how network layers view their weights without copies.
+type Mat struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// NewMat allocates a zeroed Rows×Cols matrix.
+func NewMat(rows, cols int) *Mat {
+	if rows < 0 || cols < 0 {
+		panic("tensor: NewMat with negative dimension")
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// MatFrom wraps data as a Rows×Cols matrix without copying. It panics if
+// len(data) != rows*cols.
+func MatFrom(rows, cols int, data []float64) *Mat {
+	if len(data) != rows*cols {
+		panic(fmt.Sprintf("tensor: MatFrom backing length %d != %d*%d", len(data), rows, cols))
+	}
+	return &Mat{Rows: rows, Cols: cols, Data: data}
+}
+
+// At returns element (i, j).
+func (m *Mat) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m *Mat) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns row i as a sub-slice view (no copy).
+func (m *Mat) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Clone returns a deep copy of m.
+func (m *Mat) Clone() *Mat {
+	return &Mat{Rows: m.Rows, Cols: m.Cols, Data: Clone(m.Data)}
+}
+
+// MatVec computes dst = m * x for a Rows-length dst and Cols-length x.
+// dst must not alias x.
+func MatVec(dst []float64, m *Mat, x []float64) {
+	if len(x) != m.Cols || len(dst) != m.Rows {
+		panic("tensor: MatVec dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		var s float64
+		for j, w := range row {
+			s += w * x[j]
+		}
+		dst[i] = s
+	}
+}
+
+// MatTVec computes dst = mᵀ * x for a Cols-length dst and Rows-length x.
+// dst must not alias x.
+func MatTVec(dst []float64, m *Mat, x []float64) {
+	if len(x) != m.Rows || len(dst) != m.Cols {
+		panic("tensor: MatTVec dimension mismatch")
+	}
+	Zero(dst)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		xi := x[i]
+		if xi == 0 {
+			continue
+		}
+		for j, w := range row {
+			dst[j] += w * xi
+		}
+	}
+}
+
+// AddOuter accumulates m += alpha * a bᵀ where a has length Rows and b has
+// length Cols. This is the weight-gradient kernel for dense layers.
+func AddOuter(m *Mat, alpha float64, a, b []float64) {
+	if len(a) != m.Rows || len(b) != m.Cols {
+		panic("tensor: AddOuter dimension mismatch")
+	}
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		ai := alpha * a[i]
+		if ai == 0 {
+			continue
+		}
+		for j := range row {
+			row[j] += ai * b[j]
+		}
+	}
+}
+
+// MatMul computes dst = a * b. dst must be preallocated with a.Rows ×
+// b.Cols and must not alias a or b.
+func MatMul(dst, a, b *Mat) {
+	if a.Cols != b.Rows || dst.Rows != a.Rows || dst.Cols != b.Cols {
+		panic("tensor: MatMul dimension mismatch")
+	}
+	Zero(dst.Data)
+	for i := 0; i < a.Rows; i++ {
+		arow := a.Row(i)
+		drow := dst.Row(i)
+		for k, av := range arow {
+			if av == 0 {
+				continue
+			}
+			brow := b.Row(k)
+			for j := range drow {
+				drow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// Transpose returns a newly allocated transpose of m.
+func Transpose(m *Mat) *Mat {
+	t := NewMat(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		for j := 0; j < m.Cols; j++ {
+			t.Set(j, i, m.At(i, j))
+		}
+	}
+	return t
+}

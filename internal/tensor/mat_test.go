@@ -1,0 +1,140 @@
+package tensor
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestMatAtSetRow(t *testing.T) {
+	m := NewMat(2, 3)
+	m.Set(1, 2, 7)
+	if m.At(1, 2) != 7 {
+		t.Fatalf("At(1,2) = %v", m.At(1, 2))
+	}
+	row := m.Row(1)
+	if row[2] != 7 {
+		t.Fatalf("Row view does not alias storage")
+	}
+	row[0] = 5
+	if m.At(1, 0) != 5 {
+		t.Fatal("writing through Row view not visible")
+	}
+}
+
+func TestMatFromValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for bad backing length")
+		}
+	}()
+	MatFrom(2, 2, make([]float64, 3))
+}
+
+func TestMatVec(t *testing.T) {
+	m := MatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 0, -1}
+	dst := make([]float64, 2)
+	MatVec(dst, m, x)
+	if dst[0] != -2 || dst[1] != -2 {
+		t.Fatalf("MatVec = %v", dst)
+	}
+}
+
+func TestMatTVec(t *testing.T) {
+	m := MatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	x := []float64{1, 1}
+	dst := make([]float64, 3)
+	MatTVec(dst, m, x)
+	want := []float64{5, 7, 9}
+	for i := range want {
+		if dst[i] != want[i] {
+			t.Fatalf("MatTVec[%d] = %v want %v", i, dst[i], want[i])
+		}
+	}
+}
+
+func TestAddOuter(t *testing.T) {
+	m := NewMat(2, 2)
+	AddOuter(m, 2, []float64{1, 2}, []float64{3, 4})
+	want := []float64{6, 8, 12, 16}
+	for i := range want {
+		if m.Data[i] != want[i] {
+			t.Fatalf("AddOuter data[%d] = %v want %v", i, m.Data[i], want[i])
+		}
+	}
+}
+
+func TestMatMulAgainstManual(t *testing.T) {
+	a := MatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	b := MatFrom(3, 2, []float64{7, 8, 9, 10, 11, 12})
+	dst := NewMat(2, 2)
+	MatMul(dst, a, b)
+	want := []float64{58, 64, 139, 154}
+	for i := range want {
+		if dst.Data[i] != want[i] {
+			t.Fatalf("MatMul data[%d] = %v want %v", i, dst.Data[i], want[i])
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := MatFrom(2, 3, []float64{1, 2, 3, 4, 5, 6})
+	tr := Transpose(m)
+	if tr.Rows != 3 || tr.Cols != 2 {
+		t.Fatalf("Transpose dims %dx%d", tr.Rows, tr.Cols)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 3; j++ {
+			if m.At(i, j) != tr.At(j, i) {
+				t.Fatalf("Transpose mismatch at (%d,%d)", i, j)
+			}
+		}
+	}
+}
+
+// Property: (Aᵀ)x computed by MatTVec equals MatVec on the explicit
+// transpose, for random small matrices.
+func TestMatTVecMatchesTransposeProperty(t *testing.T) {
+	f := func(data0 [6]float64, x0 [2]float64) bool {
+		data, x := shrinkVec(data0[:]), shrinkVec(x0[:])
+		m := MatFrom(2, 3, data)
+		want := make([]float64, 3)
+		MatVec(want, Transpose(m), x)
+		got := make([]float64, 3)
+		MatTVec(got, m, x)
+		for i := range want {
+			if !almostEqual(got[i], want[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: MatVec is linear in x.
+func TestMatVecLinearityProperty(t *testing.T) {
+	f := func(data0 [6]float64, x0, y0 [3]float64) bool {
+		data, x, y := shrinkVec(data0[:]), shrinkVec(x0[:]), shrinkVec(y0[:])
+		m := MatFrom(2, 3, data)
+		sum := make([]float64, 3)
+		Add(sum, x, y)
+		lhs := make([]float64, 2)
+		MatVec(lhs, m, sum)
+		mx := make([]float64, 2)
+		MatVec(mx, m, x)
+		my := make([]float64, 2)
+		MatVec(my, m, y)
+		for i := range lhs {
+			if !almostEqual(lhs[i], mx[i]+my[i], 1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

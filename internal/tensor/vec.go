@@ -1,0 +1,175 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Vec is a dense vector of float64 components. All vector helpers in this
+// package operate on raw slices so they compose with sub-slices of flat
+// parameter vectors without copies.
+type Vec = []float64
+
+// checkLen panics when two vectors that must be conformal are not. Length
+// mismatches here are always programming errors (model dimension is fixed
+// per run), so a panic is preferred over threading errors through hot loops.
+func checkLen(op string, a, b []float64) {
+	if len(a) != len(b) {
+		panic(fmt.Sprintf("tensor: %s length mismatch %d != %d", op, len(a), len(b)))
+	}
+}
+
+// Zero sets every component of v to 0.
+func Zero(v []float64) {
+	for i := range v {
+		v[i] = 0
+	}
+}
+
+// Fill sets every component of v to c.
+func Fill(v []float64, c float64) {
+	for i := range v {
+		v[i] = c
+	}
+}
+
+// Clone returns a newly allocated copy of v.
+func Clone(v []float64) []float64 {
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
+}
+
+// Add stores a+b into dst. dst may alias a or b.
+func Add(dst, a, b []float64) {
+	checkLen("Add", a, b)
+	checkLen("Add", dst, a)
+	for i := range dst {
+		dst[i] = a[i] + b[i]
+	}
+}
+
+// Sub stores a-b into dst. dst may alias a or b.
+func Sub(dst, a, b []float64) {
+	checkLen("Sub", a, b)
+	checkLen("Sub", dst, a)
+	for i := range dst {
+		dst[i] = a[i] - b[i]
+	}
+}
+
+// Scale multiplies v by c in place.
+func Scale(v []float64, c float64) {
+	for i := range v {
+		v[i] *= c
+	}
+}
+
+// AXPY computes y += alpha*x in place.
+func AXPY(alpha float64, x, y []float64) {
+	checkLen("AXPY", x, y)
+	for i := range y {
+		y[i] += alpha * x[i]
+	}
+}
+
+// Dot returns the inner product <a, b>.
+func Dot(a, b []float64) float64 {
+	checkLen("Dot", a, b)
+	var s float64
+	for i := range a {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// SquaredNorm returns ||v||_2^2.
+func SquaredNorm(v []float64) float64 {
+	var s float64
+	for _, x := range v {
+		s += x * x
+	}
+	return s
+}
+
+// Norm returns ||v||_2.
+func Norm(v []float64) float64 {
+	return math.Sqrt(SquaredNorm(v))
+}
+
+// Normalize scales v to unit L2 norm in place and returns the original
+// norm. A zero vector is left unchanged and 0 is returned.
+func Normalize(v []float64) float64 {
+	n := Norm(v)
+	if n == 0 {
+		return 0
+	}
+	Scale(v, 1/n)
+	return n
+}
+
+// Mean stores the arithmetic mean of vecs into dst. It panics if vecs is
+// empty or lengths differ. dst may alias one of vecs.
+func Mean(dst []float64, vecs ...[]float64) {
+	if len(vecs) == 0 {
+		panic("tensor: Mean of no vectors")
+	}
+	first := vecs[0]
+	checkLen("Mean", dst, first)
+	copy(dst, first)
+	for _, v := range vecs[1:] {
+		Add(dst, dst, v)
+	}
+	Scale(dst, 1/float64(len(vecs)))
+}
+
+// MaxAbs returns the largest absolute component of v, or 0 for an empty
+// vector.
+func MaxAbs(v []float64) float64 {
+	var m float64
+	for _, x := range v {
+		if a := math.Abs(x); a > m {
+			m = a
+		}
+	}
+	return m
+}
+
+// ArgMax returns the index of the largest component; ties resolve to the
+// first maximum. It panics on an empty vector.
+func ArgMax(v []float64) int {
+	if len(v) == 0 {
+		panic("tensor: ArgMax of empty vector")
+	}
+	best := 0
+	for i, x := range v {
+		if x > v[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// Clip bounds every component of v to [-c, c] in place. c must be positive.
+func Clip(v []float64, c float64) {
+	if c <= 0 {
+		panic("tensor: Clip with non-positive bound")
+	}
+	for i, x := range v {
+		if x > c {
+			v[i] = c
+		} else if x < -c {
+			v[i] = -c
+		}
+	}
+}
+
+// AllFinite reports whether every component is neither NaN nor Inf.
+func AllFinite(v []float64) bool {
+	for _, x := range v {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return false
+		}
+	}
+	return true
+}
