@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: check build fmt vet test race bench
+
+# check is the CI gate: formatting, static analysis, the full test suite
+# under the race detector, and a one-iteration benchmark smoke.
+check: fmt vet race bench
+
+build:
+	$(GO) build ./...
+
+fmt:
+	@out="$$(gofmt -l .)"; if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; \
+	fi
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench:
+	$(GO) test -run '^$$' -bench . -benchtime 1x .

@@ -1,10 +1,12 @@
 // Benchmarks regenerating every table and figure of the paper's
 // evaluation at Tiny scale, plus ablation benches for the design choices
-// called out in DESIGN.md §5. Each benchmark executes the corresponding
-// experiment runner once per iteration and reports the headline
-// quantities (median communication, steps) as custom metrics, so
-// `go test -bench=. -benchmem` prints the reproduced series alongside
-// timing. Run `cmd/fdaexp -scale quick|full` for denser grids.
+// called out in DESIGN.md §5 and sequential-vs-parallel comparison
+// benches for the execution engine (DESIGN.md §3). Each benchmark
+// executes the corresponding experiment runner once per iteration and
+// reports the headline quantities (median communication, steps) as
+// custom metrics, so `go test -bench=. -benchmem` prints the reproduced
+// series alongside timing. Run `cmd/fdaexp -scale quick|full` for denser
+// grids.
 package repro
 
 import (
@@ -226,6 +228,37 @@ func BenchmarkAblationCompression(b *testing.B) {
 		}
 	}
 }
+
+// --- Parallel execution benches ---
+
+// benchSweepJobs regenerates Figure 3's Tiny grid with the given job
+// count; comparing the Jobs=1 and Jobs=GOMAXPROCS variants shows the
+// sweep-level speedup while reportClouds proves the medians match.
+func benchSweepJobs(b *testing.B, jobs int) {
+	o := benchOpts()
+	o.Jobs = jobs
+	for i := 0; i < b.N; i++ {
+		reportClouds(b, experiments.Figure3(o))
+	}
+}
+
+func BenchmarkSweepSequential(b *testing.B) { benchSweepJobs(b, 1) }
+func BenchmarkSweepParallel(b *testing.B)   { benchSweepJobs(b, fda.AutoParallelism) }
+
+// benchRunParallelism times one training run's worker/eval loops at the
+// given Config.Parallelism; the reported sync count is identical across
+// settings by the determinism contract.
+func benchRunParallelism(b *testing.B, par int) {
+	for i := 0; i < b.N; i++ {
+		cfg := ablationConfig(12)
+		cfg.Parallelism = par
+		res := fda.MustRun(cfg, fda.NewLinearFDA(0.05))
+		b.ReportMetric(float64(res.SyncCount), "syncs")
+	}
+}
+
+func BenchmarkRunWorkersSequential(b *testing.B) { benchRunParallelism(b, 1) }
+func BenchmarkRunWorkersParallel(b *testing.B)   { benchRunParallelism(b, fda.AutoParallelism) }
 
 // BenchmarkLocalStep isolates the per-step training cost of one worker on
 // the smallest zoo model (the simulation's compute unit).

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/experiments"
@@ -24,6 +25,7 @@ func main() {
 		exp   = flag.String("exp", "all", "table2, fig3 … fig13, or all")
 		scale = flag.String("scale", "quick", "tiny, quick or full")
 		seed  = flag.Uint64("seed", 1, "experiment seed")
+		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (1 = sequential; output is identical at any setting)")
 	)
 	flag.Parse()
 
@@ -39,7 +41,7 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fdaexp: unknown scale %q\n", *scale)
 		os.Exit(1)
 	}
-	o := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout}
+	o := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout, Jobs: *jobs}
 
 	runners := map[string]func(experiments.Options){
 		"table2": func(o experiments.Options) { experiments.Table2(o) },

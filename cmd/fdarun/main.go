@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -38,6 +39,7 @@ func main() {
 		qbits    = flag.Int("qbits", 0, "compose uniform quantization with the given bits per component")
 		async    = flag.Bool("async", false, "run the asynchronous (coordinator) FDA variant")
 		speeds   = flag.String("speeds", "", "comma-separated per-worker speeds for -async")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "goroutines for the worker/eval loops (1 = sequential; results are bit-identical; no effect with -async, whose coordinator runner is sequential)")
 	)
 	flag.Parse()
 
@@ -58,6 +60,7 @@ func main() {
 		Het:            parseHet(*het),
 		MaxSteps:       *steps,
 		TargetAccuracy: *target,
+		Parallelism:    *jobs,
 	}
 	switch {
 	case *topk > 0 && *qbits > 0:

@@ -1,0 +1,70 @@
+package repro
+
+import (
+	"os/exec"
+	"testing"
+
+	"repro/fda"
+)
+
+// TestExamplesBuild compiles every example main against the current tree
+// so API drift in the facade cannot silently break them.
+func TestExamplesBuild(t *testing.T) {
+	if testing.Short() {
+		t.Skip("invokes the go toolchain")
+	}
+	if _, err := exec.LookPath("go"); err != nil {
+		t.Skip("go toolchain not on PATH")
+	}
+	out, err := exec.Command("go", "build", "./examples/...").CombinedOutput()
+	if err != nil {
+		t.Fatalf("go build ./examples/...: %v\n%s", err, out)
+	}
+}
+
+// TestQuickstartLogicTinyScale runs the quickstart walk-through's flow —
+// same workload, model and strategies — at Tiny scale (a reduced step
+// budget and a reachable target) and checks it completes with a sane
+// result, so the tutorial path stays exercised by the suite.
+func TestQuickstartLogicTinyScale(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-strategy training run")
+	}
+	train, test := fda.MNISTLike(42)
+	nz := fda.FitNormalizer(train)
+	nz.Apply(train)
+	nz.Apply(test)
+
+	model := func(rng *fda.RNG) *fda.Network {
+		conv := fda.NewConv2D(fda.Shape{H: 8, W: 8, C: 1}, 6, 3, fda.GlorotUniformInit)
+		pool := fda.NewMaxPool2D(conv.OutShape(), 2)
+		return fda.NewNetwork(rng,
+			conv, fda.NewReLU(conv.OutDim()), pool,
+			fda.NewDense(pool.OutDim(), 32, fda.GlorotUniformInit),
+			fda.NewReLU(32),
+			fda.NewDense(32, 10, fda.GlorotUniformInit),
+		)
+	}
+
+	cfg := fda.Config{
+		K: 8, BatchSize: 32, Seed: 42,
+		Model: model, Optimizer: fda.NewAdam(1e-3),
+		Train: train, Test: test,
+		TargetAccuracy: 0.80, // Tiny-scale stand-in for the example's 0.95
+		MaxSteps:       200,
+		Parallelism:    fda.AutoParallelism,
+	}
+	d := model(fda.NewRNG(0)).NumParams()
+	theta := 4e-5 * float64(d)
+
+	for _, strat := range []fda.Strategy{fda.NewLinearFDA(theta), fda.NewSynchronous()} {
+		res := fda.MustRun(cfg, strat)
+		if res.Steps == 0 || res.FinalTestAcc < 0.3 {
+			t.Fatalf("%s: implausible result %v", res.Strategy, res)
+		}
+		if !res.ReachedTarget {
+			t.Logf("%s did not reach the tiny target (acc %.3f) — acceptable at this budget",
+				res.Strategy, res.FinalTestAcc)
+		}
+	}
+}

@@ -77,6 +77,12 @@ var (
 	RunAsync = core.RunAsync
 )
 
+// AutoParallelism, assigned to Config.Parallelism (or any Jobs knob),
+// selects runtime.GOMAXPROCS goroutines. Results are bit-identical to a
+// sequential run at the same seed — parallel sections write only
+// index-addressed per-worker slots and reductions stay in worker order.
+const AutoParallelism = core.AutoParallelism
+
 // Strategies.
 var (
 	// NewSketchFDA returns the AMS-sketch FDA variant (Theorem 3.1).

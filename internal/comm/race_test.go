@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestMeterConcurrentCharges hammers one Meter from many goroutines —
+// the pattern concurrent experiment cells would produce if they ever
+// shared a meter — and checks the totals. Run under -race this is the
+// gate for the meter's lock discipline.
+func TestMeterConcurrentCharges(t *testing.T) {
+	m := NewMeter()
+	const goroutines, each = 8, 500
+	var wg sync.WaitGroup
+	wg.Add(goroutines)
+	for g := 0; g < goroutines; g++ {
+		kind := "state"
+		if g%2 == 1 {
+			kind = "model"
+		}
+		go func(kind string) {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				m.Charge(kind, 3)
+				_ = m.TotalBytes()
+				_ = m.BytesFor(kind)
+			}
+		}(kind)
+	}
+	wg.Wait()
+	if got := m.TotalBytes(); got != goroutines*each*3 {
+		t.Fatalf("TotalBytes = %d want %d", got, goroutines*each*3)
+	}
+	if m.OpsFor("state") != goroutines/2*each || m.OpsFor("model") != goroutines/2*each {
+		t.Fatalf("ops split wrong: %d/%d", m.OpsFor("state"), m.OpsFor("model"))
+	}
+	if kinds := m.Kinds(); len(kinds) != 2 {
+		t.Fatalf("kinds = %v", kinds)
+	}
+}
+
+// TestClustersConcurrently runs independent clusters (the per-sweep-cell
+// topology) in parallel, each doing metered AllReduces, verifying cell
+// isolation under the race detector.
+func TestClustersConcurrently(t *testing.T) {
+	const cells = 6
+	var wg sync.WaitGroup
+	wg.Add(cells)
+	totals := make([]int64, cells)
+	for c := 0; c < cells; c++ {
+		go func(c int) {
+			defer wg.Done()
+			cl := NewCluster(3)
+			for i := 0; i < 20; i++ {
+				vecs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
+				cl.AllReduce("model", vecs)
+			}
+			totals[c] = cl.Meter.TotalBytes()
+		}(c)
+	}
+	wg.Wait()
+	for c := 1; c < cells; c++ {
+		if totals[c] != totals[0] {
+			t.Fatalf("cell %d metered %d, cell 0 metered %d", c, totals[c], totals[0])
+		}
+	}
+}

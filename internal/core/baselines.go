@@ -183,10 +183,10 @@ func (f *FedOpt) AfterLocalStep(env *Env, t int) {
 	tensor.Sub(f.pseudoGrad, f.global, mean)
 	f.ServerOpt.Step(f.global, f.pseudoGrad)
 
-	for _, w := range env.Workers {
+	env.ForEachWorker(func(_ int, w *Worker) {
 		w.Net.SetParams(f.global)
 		w.Opt.Reset() // local optimizer state restarts each round
-	}
+	})
 	env.WPrev = env.W0
 	env.W0 = tensor.Clone(f.global)
 	env.SyncCount++

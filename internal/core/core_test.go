@@ -158,8 +158,7 @@ func (p *boundProbe) AfterLocalStep(env *Env, step int) {
 	for i, w := range env.Workers {
 		u := w.Drift(env.W0)
 		p.sk.states[i][0] = tensor.SquaredNorm(u)
-		p.sk.sk.SketchVec(p.sk.skBuf, u)
-		copy(p.sk.states[i][1:], p.sk.skBuf.Data)
+		p.sk.sk.SketchVec(p.sk.workerSk[i], u)
 		p.lin.states[i][0] = p.sk.states[i][0]
 		p.lin.states[i][1] = tensor.Dot(p.lin.xi, u)
 	}

@@ -42,9 +42,11 @@ type SketchFDA struct {
 
 	sk     *sketch.Sketcher
 	states [][]float64 // per-worker state vectors [‖u‖², sketch...]
-	meanSt []float64
-	skBuf  *sketch.Sketch
-	meanSk *sketch.Sketch
+	// workerSk[i] views states[i][1:] as a sketch so each worker can
+	// sketch its drift straight into its own state slot, concurrently.
+	workerSk []*sketch.Sketch
+	meanSt   []float64
+	meanSk   *sketch.Sketch
 }
 
 // NewSketchFDA returns the sketch-based FDA strategy with threshold theta
@@ -95,23 +97,25 @@ func (s *SketchFDA) Init(env *Env) {
 	s.sk.Precompute(env.D)
 	stateDim := 1 + s.L*s.M
 	s.states = make([][]float64, len(env.Workers))
+	s.workerSk = make([]*sketch.Sketch, len(env.Workers))
 	for i := range s.states {
 		s.states[i] = make([]float64, stateDim)
+		s.workerSk[i] = &sketch.Sketch{L: s.L, M: s.M, Data: s.states[i][1:]}
 	}
 	s.meanSt = make([]float64, stateDim)
-	s.skBuf = s.sk.NewSketch()
 	s.meanSk = s.sk.NewSketch()
 }
 
 // AfterLocalStep implements Strategy.
 func (s *SketchFDA) AfterLocalStep(env *Env, _ int) {
-	for i, w := range env.Workers {
+	// Per-worker drift and sketch computations are independent (the
+	// Sketcher is immutable after Precompute) and run on the pool; the
+	// state AllReduce below reduces in worker order on this goroutine.
+	env.ForEachWorker(func(i int, w *Worker) {
 		u := w.Drift(env.W0)
-		st := s.states[i]
-		st[0] = tensor.SquaredNorm(u)
-		s.sk.SketchVec(s.skBuf, u)
-		copy(st[1:], s.skBuf.Data)
-	}
+		s.states[i][0] = tensor.SquaredNorm(u)
+		s.sk.SketchVec(s.workerSk[i], u)
+	})
 	env.Cluster.AllReduceMean("state", s.meanSt, s.states)
 	if s.estimate() > s.Theta {
 		env.SyncModels()
@@ -175,11 +179,11 @@ func (l *LinearFDA) Init(env *Env) {
 
 // AfterLocalStep implements Strategy.
 func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
-	for i, w := range env.Workers {
+	env.ForEachWorker(func(i int, w *Worker) {
 		u := w.Drift(env.W0)
 		l.states[i][0] = tensor.SquaredNorm(u)
 		l.states[i][1] = tensor.Dot(l.xi, u)
-	}
+	})
 	env.Cluster.AllReduceMean("state", l.meanSt, l.states)
 	h := l.meanSt[0] - l.meanSt[1]*l.meanSt[1]
 	if h > l.Theta {
@@ -219,9 +223,9 @@ func (o *OracleFDA) Init(_ *Env) {}
 func (o *OracleFDA) AfterLocalStep(env *Env, _ int) {
 	// Charge the same state traffic a two-scalar variant would use.
 	scalars := make([][]float64, len(env.Workers))
-	for i, w := range env.Workers {
+	env.ForEachWorker(func(i int, w *Worker) {
 		scalars[i] = []float64{tensor.SquaredNorm(w.Drift(env.W0)), 0}
-	}
+	})
 	mean := make([]float64, 2)
 	env.Cluster.AllReduceMean("state", mean, scalars)
 	if env.ExactVarianceViaDrift() > o.Theta {

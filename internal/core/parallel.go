@@ -1,0 +1,94 @@
+package core
+
+import (
+	"repro/internal/data"
+	"repro/internal/nn"
+	"repro/internal/par"
+	"repro/internal/tensor"
+)
+
+// AutoParallelism selects runtime.GOMAXPROCS(0) goroutines wherever a
+// parallelism knob accepts it (Config.Parallelism, experiments' Jobs).
+const AutoParallelism = -1
+
+// pool executes index-addressed loop bodies across a bounded set of
+// goroutines. It is the simulation's parallel substrate: the trainer uses
+// it for the per-step worker loop and for evaluation, and strategies use
+// it (through Env.ForEachWorker) for their per-worker drift/state
+// computations.
+//
+// Determinism contract: see par.ForEach — callers keep results
+// bit-identical to the sequential path by writing only to
+// index-addressed slots (slice element i from body invocation i) and by
+// performing any floating-point reduction over those slots afterwards,
+// in index order, on the calling goroutine.
+type pool struct {
+	workers int
+}
+
+// newPool returns a pool for the given parallelism knob value. A nil pool
+// is valid and sequential, so strategies can run against a zero Env.
+func newPool(parallelism int) *pool {
+	return &pool{workers: par.Resolve(parallelism)}
+}
+
+// Workers returns the effective goroutine count (1 = sequential).
+func (p *pool) Workers() int {
+	if p == nil {
+		return 1
+	}
+	return p.workers
+}
+
+// ForEach runs body(i) for every i in [0, n) across up to Workers()
+// goroutines.
+func (p *pool) ForEach(n int, body func(i int)) {
+	par.ForEach(p.Workers(), n, body)
+}
+
+// evaluator computes dataset accuracy for the trainer, chunking the scan
+// across the run's pool. Network.Forward reuses internal activation
+// buffers, so parallel evaluation needs one replica per concurrent
+// chunk. Replicas are built lazily on the first parallel scan (a run
+// that never evaluates in parallel — or whose datasets are smaller than
+// the pool — pays nothing) and their init RNGs are derived from the run
+// seed alone, not the root stream, so enabling parallelism leaves the
+// training trajectory untouched; their initialization is overwritten by
+// SetParams before every scan anyway. Chunk results are integer counts
+// reduced in chunk order, making the accuracy bit-identical to a
+// sequential scan.
+type evaluator struct {
+	pool  *pool
+	build ModelBuilder
+	seed  uint64
+	nets  []*nn.Network
+}
+
+func newEvaluator(p *pool, primary *nn.Network, build ModelBuilder, seed uint64) *evaluator {
+	return &evaluator{pool: p, build: build, seed: seed, nets: []*nn.Network{primary}}
+}
+
+func (e *evaluator) accuracy(params []float64, ds *data.Dataset) float64 {
+	n := ds.Len()
+	chunks := e.pool.Workers()
+	if chunks > n {
+		chunks = n
+	}
+	if chunks <= 1 {
+		e.nets[0].SetParams(params)
+		return e.nets[0].Accuracy(ds)
+	}
+	for i := len(e.nets); i < chunks; i++ {
+		e.nets = append(e.nets, e.build(tensor.NewRNG(e.seed^0xe7a1^uint64(i)<<32)))
+	}
+	counts := make([]int, chunks)
+	e.pool.ForEach(chunks, func(i int) {
+		e.nets[i].SetParams(params)
+		counts[i] = e.nets[i].CountCorrect(ds, i*n/chunks, (i+1)*n/chunks)
+	})
+	total := 0
+	for _, c := range counts {
+		total += c
+	}
+	return float64(total) / float64(n)
+}

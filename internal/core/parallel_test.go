@@ -1,0 +1,68 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// TestPoolForEachCoversEveryIndexOnce drives the pool across widths and
+// sizes — including width > n, n == 0 and the sequential path — and
+// checks each index runs exactly once. The concurrent counter increments
+// also make this a race-detector probe for the dispatch loop.
+func TestPoolForEachCoversEveryIndexOnce(t *testing.T) {
+	for _, par := range []int{0, 1, 2, 4, 13, AutoParallelism} {
+		for _, n := range []int{0, 1, 5, 64, 257} {
+			hits := make([]atomic.Int32, n)
+			newPool(par).ForEach(n, func(i int) { hits[i].Add(1) })
+			for i := range hits {
+				if c := hits[i].Load(); c != 1 {
+					t.Fatalf("par=%d n=%d: index %d ran %d times", par, n, i, c)
+				}
+			}
+		}
+	}
+}
+
+// TestPoolNilIsSequential makes the zero-Env contract explicit: strategies
+// may call ForEachWorker on an Env that was never given a pool.
+func TestPoolNilIsSequential(t *testing.T) {
+	var p *pool
+	if p.Workers() != 1 {
+		t.Fatalf("nil pool Workers = %d", p.Workers())
+	}
+	sum := 0
+	p.ForEach(4, func(i int) { sum += i })
+	if sum != 6 {
+		t.Fatalf("nil pool ForEach sum = %d", sum)
+	}
+}
+
+// TestEvaluatorParity checks the chunked parallel accuracy scan against
+// Network.Accuracy on the same parameters: integer count reduction must
+// make them exactly equal, for widths that divide the dataset unevenly.
+func TestEvaluatorParity(t *testing.T) {
+	_, test, model := testWorkload(21)
+	ref := model(tensor.NewRNG(21))
+	want := ref.Accuracy(test)
+
+	for _, par := range []int{1, 2, 3, 7} {
+		e := newEvaluator(newPool(par), model(tensor.NewRNG(99)), model, 21)
+		if got := e.accuracy(ref.Params(), test); got != want {
+			t.Fatalf("parallelism %d: accuracy %v != sequential %v", par, got, want)
+		}
+	}
+}
+
+// TestEvaluatorTinyDataset covers datasets smaller than the pool width.
+func TestEvaluatorTinyDataset(t *testing.T) {
+	_, test, model := testWorkload(22)
+	small := test.Subset([]int{0, 1, 2})
+	ref := model(tensor.NewRNG(5))
+	want := ref.Accuracy(small)
+	e := newEvaluator(newPool(8), model(tensor.NewRNG(6)), model, 22)
+	if got := e.accuracy(ref.Params(), small); got != want {
+		t.Fatalf("tiny dataset: %v != %v", got, want)
+	}
+}

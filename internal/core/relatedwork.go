@@ -163,9 +163,9 @@ func (l *LAG) AfterLocalStep(env *Env, t int) {
 	// Cheap trigger: mean squared drift (scalars, like an FDA state
 	// AllReduce but without the deflation term).
 	scalars := make([][]float64, len(env.Workers))
-	for i, w := range env.Workers {
+	env.ForEachWorker(func(i int, w *Worker) {
 		scalars[i] = []float64{tensor.SquaredNorm(w.Drift(env.W0))}
-	}
+	})
 	mean := make([]float64, 1)
 	env.Cluster.AllReduceMean("state", mean, scalars)
 

@@ -56,9 +56,10 @@ func Run(cfg Config, s Strategy) (Result, error) {
 
 	env := newEnv(cluster, workers)
 	env.Codec = cfg.SyncCodec
+	env.pool = newPool(cfg.Parallelism)
 	s.Init(env)
 
-	evalNet := cfg.Model(root.Split())
+	eval := newEvaluator(env.pool, cfg.Model(root.Split()), cfg.Model, cfg.Seed)
 	globalParams := make([]float64, d)
 
 	res := Result{Strategy: s.Name()}
@@ -67,24 +68,21 @@ func Run(cfg Config, s Strategy) (Result, error) {
 
 	evaluate := func(t int) Point {
 		env.GlobalModel(globalParams)
-		evalNet.SetParams(globalParams)
 		p := Point{
 			Step:      t,
 			Epoch:     float64(t) * samplesPerStep / trainLen,
-			TestAcc:   evalNet.Accuracy(cfg.Test),
+			TestAcc:   eval.accuracy(globalParams, cfg.Test),
 			CommBytes: cluster.Meter.TotalBytes(),
 			SyncCount: env.SyncCount,
 		}
 		if cfg.RecordTrainAccuracy {
-			p.TrainAcc = evalNet.Accuracy(cfg.Train)
+			p.TrainAcc = eval.accuracy(globalParams, cfg.Train)
 		}
 		return p
 	}
 
 	for t := 1; t <= cfg.MaxSteps; t++ {
-		for _, w := range workers {
-			w.LocalStep(cfg.BatchSize)
-		}
+		env.ForEachWorker(func(_ int, w *Worker) { w.LocalStep(cfg.BatchSize) })
 		s.AfterLocalStep(env, t)
 		res.Steps = t
 

@@ -59,6 +59,7 @@ type Env struct {
 	paramViews [][]float64 // workers' parameter slices, for AllReduce
 	codecBuf   []float64
 	codecMean  []float64
+	pool       *pool
 }
 
 func newEnv(cluster *comm.Cluster, workers []*Worker) *Env {
@@ -73,6 +74,20 @@ func newEnv(cluster *comm.Cluster, workers []*Worker) *Env {
 		e.paramViews[i] = w.Net.Params()
 	}
 	return e
+}
+
+// Parallelism returns the effective goroutine count of the run's worker
+// pool (1 when the run is sequential).
+func (e *Env) Parallelism() int { return e.pool.Workers() }
+
+// ForEachWorker runs body(k, Workers[k]) for every worker, concurrently
+// when the run's Config.Parallelism allows it. Bodies must touch only
+// state owned by worker k (its replica, optimizer, drift scratch) and
+// index-addressed slots such as states[k]; cross-worker reductions belong
+// after the call, in worker order, as in the sequential path. A nil-pool
+// Env (zero value, tests) runs inline.
+func (e *Env) ForEachWorker(body func(k int, w *Worker)) {
+	e.pool.ForEach(len(e.Workers), func(i int) { body(i, e.Workers[i]) })
 }
 
 // SyncModels performs the expensive model synchronization: an AllReduce
@@ -112,9 +127,7 @@ func (e *Env) syncCompressed() {
 	e.WPrev = e.W0
 	global := tensor.Clone(e.W0)
 	tensor.Add(global, global, e.codecMean)
-	for _, w := range e.Workers {
-		w.Net.SetParams(global)
-	}
+	e.ForEachWorker(func(_ int, w *Worker) { w.Net.SetParams(global) })
 	e.W0 = global
 	e.SyncCount++
 	// Each worker uploads its compressed drift and downloads the

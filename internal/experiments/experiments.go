@@ -50,6 +50,13 @@ type Options struct {
 	Seed  uint64
 	// Out receives human-readable tables; nil discards them.
 	Out io.Writer
+	// Jobs bounds how many independent sweep cells (training runs) execute
+	// concurrently. 0 (the zero value) and 1 run the grid sequentially;
+	// positive values are taken literally; negative values select
+	// runtime.GOMAXPROCS. Each cell owns its seed-derived RNGs and meter,
+	// and records are collected in grid order, so the output is identical
+	// at every setting.
+	Jobs int
 }
 
 func (o Options) out() io.Writer {

@@ -54,8 +54,15 @@ func Figure12(o Options) []ThetaFit {
 	fmt.Fprintf(out, "\n== fig12 — empirical Θ* vs d per deployment setting ==\n")
 
 	// Run the Θ sweeps once per model; evaluate every profile on the same
-	// sweep (wall-time is a post-hoc function of the meter).
-	sweeps := map[string][]cell{}
+	// sweep (wall-time is a post-hoc function of the meter). The (model, Θ)
+	// runs are independent, so they dispatch across the job pool; unreached
+	// cells come back nil and the per-model sweep keeps Θ order.
+	type job struct {
+		name  string
+		w     workload
+		theta float64
+	}
+	var jobsList []job
 	dims := map[string]float64{}
 	for _, name := range modelNames {
 		w := loadWorkload(name, o.Seed)
@@ -65,16 +72,26 @@ func Figure12(o Options) []ThetaFit {
 			thetas = thetas[:3]
 		}
 		for _, th := range thetas {
-			maxSteps, evalEvery := modelBudget(name)
-			cfg := w.baseConfig(3, o.Seed+31, maxSteps, evalEvery, targets[name], data.IID())
-			res := core.MustRun(cfg, core.NewLinearFDA(th))
-			if !res.ReachedTarget {
-				continue
-			}
-			m := comm.NewMeter()
-			m.Charge("state", res.StateBytes)
-			m.Charge("model", res.ModelBytes)
-			sweeps[name] = append(sweeps[name], cell{theta: th, meter: m, steps: res.Steps})
+			jobsList = append(jobsList, job{name, w, th})
+		}
+	}
+	results := parMap(o.Jobs, len(jobsList), func(i int) *cell {
+		j := jobsList[i]
+		maxSteps, evalEvery := modelBudget(j.name)
+		cfg := j.w.baseConfig(3, o.Seed+31, maxSteps, evalEvery, targets[j.name], data.IID())
+		res := core.MustRun(cfg, core.NewLinearFDA(j.theta))
+		if !res.ReachedTarget {
+			return nil
+		}
+		m := comm.NewMeter()
+		m.Charge("state", res.StateBytes)
+		m.Charge("model", res.ModelBytes)
+		return &cell{theta: j.theta, meter: m, steps: res.Steps}
+	})
+	sweeps := map[string][]cell{}
+	for i, c := range results {
+		if c != nil {
+			sweeps[jobsList[i].name] = append(sweeps[jobsList[i].name], *c)
 		}
 	}
 

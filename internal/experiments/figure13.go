@@ -48,17 +48,27 @@ func Figure13(o Options) []Record {
 	fmt.Fprintf(out, "\n== fig13 — ConvNeXt fine-tuning: feature-extraction acc %.3f, target %.3f ==\n",
 		baseAcc, target)
 
-	var recs []Record
+	type cell struct {
+		k     int
+		strat string
+		theta float64
+		seed  uint64
+	}
+	var cells []cell
 	seed := o.Seed + 500
 	for _, k := range ks {
 		for _, strat := range []string{"LinearFDA", "SketchFDA"} {
 			for _, th := range thetas {
 				seed++
-				recs = append(recs, runToTargets("fig13", w, strat, th, k,
-					data.IID(), []float64{target}, seed)...)
+				cells = append(cells, cell{k, strat, th, seed})
 			}
 		}
 	}
+	recs := flatten(parMap(o.Jobs, len(cells), func(i int) []Record {
+		c := cells[i]
+		return runToTargets("fig13", w, c.strat, c.theta, c.k,
+			data.IID(), []float64{target}, c.seed)
+	}))
 	printRecords(out, "fig13 — ConvNeXtLarge (convnexts) fine-tuning", recs)
 
 	// The Linear/Sketch communication ratio the paper reports as ≈1.5×.

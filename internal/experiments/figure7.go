@@ -41,38 +41,57 @@ func Figure7(o Options) []Curve {
 	}
 	strategies := []string{"LinearFDA", "SketchFDA", "FedAvgM", "Synchronous"}
 
-	var curves []Curve
-	out := o.out()
-	for _, p := range panels {
-		w := loadWorkload(p.model, o.Seed)
-		theta := w.spec.ThetaGrid[1]
-		fmt.Fprintf(out, "\n== fig7 — %s, IID, K=5, Θ=%.3f, target %.2f ==\n",
-			w.spec.PaperModel, theta, p.target)
+	// One cell per (panel, strategy); the runs are independent full-length
+	// trajectories, so they dispatch across the job pool and the curves
+	// come back in panel-major order for printing.
+	type cell struct {
+		panel int
+		strat string
+	}
+	ws := make([]workload, len(panels))
+	var cells []cell
+	for pi := range panels {
+		ws[pi] = loadWorkload(panels[pi].model, o.Seed)
 		for _, strat := range strategies {
-			cfg := w.baseConfig(5, o.Seed+7, p.steps, 20, 0 /* run full length */, data.IID())
-			cfg.RecordTrainAccuracy = true
-			res := core.MustRun(cfg, strategyFor(strat, theta, cfg))
-			c := Curve{
-				Model: p.model, Strategy: strat, K: 5, Target: p.target,
-			}
-			if isFDA(strat) {
-				c.Theta = theta
-			}
-			for _, pt := range res.History {
-				c.Epochs = append(c.Epochs, pt.Epoch)
-				c.TrainAcc = append(c.TrainAcc, pt.TrainAcc)
-				c.TestAcc = append(c.TestAcc, pt.TestAcc)
-				if c.TargetEpoch == 0 && pt.TestAcc >= p.target {
-					c.TargetEpoch = pt.Epoch
-				}
-			}
-			if n := len(c.TrainAcc); n > 0 {
-				c.Gap = c.TrainAcc[n-1] - c.TestAcc[n-1]
-			}
-			curves = append(curves, c)
-			fmt.Fprintf(out, "%-12s target@epoch=%.1f final train=%.3f test=%.3f gap=%.3f\n",
-				strat, c.TargetEpoch, last(c.TrainAcc), last(c.TestAcc), c.Gap)
+			cells = append(cells, cell{pi, strat})
 		}
+	}
+	curves := parMap(o.Jobs, len(cells), func(i int) Curve {
+		p, w := panels[cells[i].panel], ws[cells[i].panel]
+		strat := cells[i].strat
+		theta := w.spec.ThetaGrid[1]
+		cfg := w.baseConfig(5, o.Seed+7, p.steps, 20, 0 /* run full length */, data.IID())
+		cfg.RecordTrainAccuracy = true
+		res := core.MustRun(cfg, strategyFor(strat, theta, cfg))
+		c := Curve{
+			Model: p.model, Strategy: strat, K: 5, Target: p.target,
+		}
+		if isFDA(strat) {
+			c.Theta = theta
+		}
+		for _, pt := range res.History {
+			c.Epochs = append(c.Epochs, pt.Epoch)
+			c.TrainAcc = append(c.TrainAcc, pt.TrainAcc)
+			c.TestAcc = append(c.TestAcc, pt.TestAcc)
+			if c.TargetEpoch == 0 && pt.TestAcc >= p.target {
+				c.TargetEpoch = pt.Epoch
+			}
+		}
+		if n := len(c.TrainAcc); n > 0 {
+			c.Gap = c.TrainAcc[n-1] - c.TestAcc[n-1]
+		}
+		return c
+	})
+
+	out := o.out()
+	for i, c := range curves {
+		if i%len(strategies) == 0 {
+			pi := cells[i].panel
+			fmt.Fprintf(out, "\n== fig7 — %s, IID, K=5, Θ=%.3f, target %.2f ==\n",
+				ws[pi].spec.PaperModel, ws[pi].spec.ThetaGrid[1], panels[pi].target)
+		}
+		fmt.Fprintf(out, "%-12s target@epoch=%.1f final train=%.3f test=%.3f gap=%.3f\n",
+			c.Strategy, c.TargetEpoch, last(c.TrainAcc), last(c.TestAcc), c.Gap)
 	}
 	return curves
 }

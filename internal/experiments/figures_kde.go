@@ -37,7 +37,18 @@ func (o Options) grids(thetaGrid []float64) (ks []int, thetas []float64) {
 func cloudFigure(cs cloudSpec, o Options) []Record {
 	w := loadWorkload(cs.model, o.Seed)
 	ks, thetas := o.grids(w.spec.ThetaGrid)
-	var recs []Record
+
+	// Enumerate the grid first — the seed assignment follows the nested
+	// loop order exactly as the sequential runner did — then dispatch the
+	// independent cells across the job pool and flatten in grid order.
+	type cell struct {
+		het   data.Heterogeneity
+		strat string
+		theta float64
+		k     int
+		seed  uint64
+	}
+	var cells []cell
 	seed := o.Seed
 	for _, het := range cs.hets {
 		for _, strat := range cs.strategies {
@@ -45,15 +56,19 @@ func cloudFigure(cs cloudSpec, o Options) []Record {
 				if isFDA(strat) {
 					for _, th := range thetas {
 						seed++
-						recs = append(recs, runToTargets(cs.figure, w, strat, th, k, het, cs.targets, seed)...)
+						cells = append(cells, cell{het, strat, th, k, seed})
 					}
 				} else {
 					seed++
-					recs = append(recs, runToTargets(cs.figure, w, strat, 0, k, het, cs.targets, seed)...)
+					cells = append(cells, cell{het, strat, 0, k, seed})
 				}
 			}
 		}
 	}
+	recs := flatten(parMap(o.Jobs, len(cells), func(i int) []Record {
+		c := cells[i]
+		return runToTargets(cs.figure, w, c.strat, c.theta, c.k, c.het, cs.targets, c.seed)
+	}))
 	printRecords(o.out(), cs.figure+" — "+w.spec.PaperModel+" ("+cs.model+")", recs)
 	summarize(o.out(), recs)
 	plotCloud(o.out(), cs.figure, recs)

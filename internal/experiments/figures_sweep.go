@@ -34,7 +34,17 @@ func sweepFigure(ss sweepSpec, o Options) []Record {
 	ks, thetas, fixedK := o.sweepGrids(w.spec.ThetaGrid)
 	fixedTheta := w.spec.ThetaGrid[1]
 	targets := []float64{ss.target}
-	var recs []Record
+
+	// Enumerate both panels (seed order matches the sequential loops),
+	// then dispatch the cells across the job pool in grid order.
+	type cell struct {
+		figure string
+		strat  string
+		theta  float64
+		k      int
+		seed   uint64
+	}
+	var cells []cell
 	seed := o.Seed + 1000
 
 	// Top panels: cost vs K at fixed Θ.
@@ -45,18 +55,20 @@ func sweepFigure(ss sweepSpec, o Options) []Record {
 			if isFDA(strat) {
 				th = fixedTheta
 			}
-			rs := runToTargets(ss.figure+"-K", w, strat, th, k, data.IID(), targets, seed)
-			recs = append(recs, rs...)
+			cells = append(cells, cell{ss.figure + "-K", strat, th, k, seed})
 		}
 	}
 	// Bottom panels: cost vs Θ at fixed K for the FDA variants.
 	for _, strat := range []string{"LinearFDA", "SketchFDA"} {
 		for _, th := range thetas {
 			seed++
-			rs := runToTargets(ss.figure+"-Theta", w, strat, th, fixedK, data.IID(), targets, seed)
-			recs = append(recs, rs...)
+			cells = append(cells, cell{ss.figure + "-Theta", strat, th, fixedK, seed})
 		}
 	}
+	recs := flatten(parMap(o.Jobs, len(cells), func(i int) []Record {
+		c := cells[i]
+		return runToTargets(c.figure, w, c.strat, c.theta, c.k, data.IID(), targets, c.seed)
+	}))
 	printRecords(o.out(), fmt.Sprintf("%s — %s: cost vs K (Θ=%.3f) and vs Θ (K=%d), target %.2f",
 		ss.figure, w.spec.PaperModel, fixedTheta, fixedK, ss.target), recs)
 	return recs

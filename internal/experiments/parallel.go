@@ -1,0 +1,28 @@
+package experiments
+
+import "repro/internal/par"
+
+// parMap evaluates fn(0) … fn(n−1) across up to jobs goroutines and
+// returns the results indexed by input position. Every sweep cell of a
+// grid already owns its seed-derived RNGs and its own cluster/meter, so
+// cells are independent; dispatching them through parMap and collecting
+// into index-addressed slots keeps the record stream byte-identical to
+// the sequential nested loops, whatever the scheduling order.
+//
+// jobs follows the Options.Jobs convention (see par.Resolve): 0 and 1
+// run inline on the calling goroutine, positive values bound the
+// goroutine count, negative values select runtime.GOMAXPROCS.
+func parMap[R any](jobs, n int, fn func(i int) R) []R {
+	out := make([]R, n)
+	par.ForEach(par.Resolve(jobs), n, func(i int) { out[i] = fn(i) })
+	return out
+}
+
+// flatten concatenates per-cell record slices in cell order.
+func flatten(perCell [][]Record) []Record {
+	var recs []Record
+	for _, rs := range perCell {
+		recs = append(recs, rs...)
+	}
+	return recs
+}

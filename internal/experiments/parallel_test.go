@@ -1,0 +1,125 @@
+package experiments
+
+import (
+	"reflect"
+	"runtime"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/data"
+)
+
+func TestParMapCoverageAndOrder(t *testing.T) {
+	for _, jobs := range []int{0, 1, 3, 8, -1} {
+		got := parMap(jobs, 37, func(i int) int { return i * i })
+		for i, v := range got {
+			if v != i*i {
+				t.Fatalf("jobs=%d: slot %d holds %d", jobs, i, v)
+			}
+		}
+	}
+	if out := parMap(4, 0, func(i int) int { return i }); len(out) != 0 {
+		t.Fatalf("empty input produced %v", out)
+	}
+}
+
+func TestParMapRunsEachOnce(t *testing.T) {
+	var calls atomic.Int64
+	parMap(5, 100, func(i int) struct{} {
+		calls.Add(1)
+		return struct{}{}
+	})
+	if calls.Load() != 100 {
+		t.Fatalf("parMap made %d calls for 100 items", calls.Load())
+	}
+}
+
+// parityCloudSpec is a two-cell grid cheap enough to run several times:
+// the low target is reached within the first evaluations.
+func parityCloudSpec() cloudSpec {
+	return cloudSpec{
+		figure:     "ptest",
+		model:      "lenet5s",
+		hets:       []data.Heterogeneity{data.IID()},
+		targets:    []float64{0.5},
+		strategies: []string{"LinearFDA", "Synchronous"},
+	}
+}
+
+// TestCloudFigureParallelParity is the sweep-level determinism contract:
+// records AND the rendered table must be byte-identical between Jobs=1
+// and Jobs=4, and two parallel sweeps must agree with each other.
+func TestCloudFigureParallelParity(t *testing.T) {
+	run := func(jobs int) ([]Record, string) {
+		var b strings.Builder
+		recs := cloudFigure(parityCloudSpec(), Options{Scale: Tiny, Seed: 3, Out: &b, Jobs: jobs})
+		return recs, b.String()
+	}
+	seqRecs, seqOut := run(1)
+	parRecs, parOut := run(4)
+	if !reflect.DeepEqual(seqRecs, parRecs) {
+		t.Fatalf("parallel sweep records diverged:\nseq: %+v\npar: %+v", seqRecs, parRecs)
+	}
+	if seqOut != parOut {
+		t.Fatalf("rendered output diverged:\n--- seq ---\n%s\n--- par ---\n%s", seqOut, parOut)
+	}
+	againRecs, againOut := run(4)
+	if !reflect.DeepEqual(parRecs, againRecs) || parOut != againOut {
+		t.Fatal("two parallel sweeps diverged from each other")
+	}
+}
+
+// TestSweepFigureParallelParity covers the second grid shape (K panel +
+// Θ panel) through the same contract.
+func TestSweepFigureParallelParity(t *testing.T) {
+	spec := sweepSpec{figure: "ptest-sweep", model: "lenet5s", target: 0.5,
+		strategies: []string{"LinearFDA"}}
+	run := func(jobs int) ([]Record, string) {
+		var b strings.Builder
+		recs := sweepFigure(spec, Options{Scale: Tiny, Seed: 4, Out: &b, Jobs: jobs})
+		return recs, b.String()
+	}
+	seqRecs, seqOut := run(1)
+	parRecs, parOut := run(5)
+	if !reflect.DeepEqual(seqRecs, parRecs) {
+		t.Fatalf("sweep records diverged:\nseq: %+v\npar: %+v", seqRecs, parRecs)
+	}
+	if seqOut != parOut {
+		t.Fatalf("sweep output diverged:\n--- seq ---\n%s\n--- par ---\n%s", seqOut, parOut)
+	}
+}
+
+// TestParallelSweepSpeedup asserts the acceptance criterion — ≥2× wall
+// clock with Jobs ≥ 4 on a multicore runner — over a grid of independent
+// Tiny cells. It self-skips on machines without enough cores (the cells
+// would just time-slice) and in -short mode.
+func TestParallelSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test")
+	}
+	procs := runtime.GOMAXPROCS(0)
+	if procs < 4 {
+		t.Skipf("needs ≥4 CPUs, have %d", procs)
+	}
+	spec := cloudSpec{
+		figure:     "speedup",
+		model:      "lenet5s",
+		hets:       []data.Heterogeneity{data.IID(), data.NonIIDPercent(60)},
+		targets:    []float64{0.93},
+		strategies: []string{"LinearFDA", "SketchFDA", "FedAdam", "Synchronous"},
+	}
+	run := func(jobs int) time.Duration {
+		start := time.Now()
+		cloudFigure(spec, Options{Scale: Tiny, Seed: 8, Jobs: jobs})
+		return time.Since(start)
+	}
+	run(procs) // warm caches so the timed pair compares like with like
+	seq := run(1)
+	par := run(procs)
+	t.Logf("sequential %v, %d jobs %v (%.2fx)", seq, procs, par, seq.Seconds()/par.Seconds())
+	if par*2 > seq {
+		t.Fatalf("speedup %.2fx < 2x (seq %v, par %v)", seq.Seconds()/par.Seconds(), seq, par)
+	}
+}

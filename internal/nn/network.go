@@ -147,14 +147,24 @@ func (n *Network) Loss(ds *data.Dataset) float64 {
 
 // Accuracy returns the top-1 accuracy over a dataset (dropout disabled).
 func (n *Network) Accuracy(ds *data.Dataset) float64 {
+	return float64(n.CountCorrect(ds, 0, ds.Len())) / float64(ds.Len())
+}
+
+// CountCorrect returns how many of the samples ds[lo:hi) the network
+// classifies correctly (dropout disabled). The half-open range lets
+// callers chunk a dataset across network replicas — one replica per
+// goroutine, since Forward reuses internal buffers — and reduce the
+// integer counts, which is order-independent and therefore bit-identical
+// to a sequential scan.
+func (n *Network) CountCorrect(ds *data.Dataset, lo, hi int) int {
 	correct := 0
-	for i := range ds.X {
+	for i := lo; i < hi; i++ {
 		logits := n.Forward(ds.X[i], false)
 		if tensor.ArgMax(logits) == ds.Y[i] {
 			correct++
 		}
 	}
-	return float64(correct) / float64(ds.Len())
+	return correct
 }
 
 // SoftmaxCrossEntropy computes the cross-entropy loss of logits against
