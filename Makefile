@@ -20,8 +20,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# The explicit timeout keeps the race-instrumented figure sweeps from
+# tripping go test's 10m default on small (1–2 core) machines.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 45m ./...
 
+# bench runs the suite once and records a machine-readable report in
+# BENCH_PR2.json (op, ns/op, bytes, custom metrics) so the perf
+# trajectory is tracked across PRs. The raw text still prints.
 bench:
-	$(GO) test -run '^$$' -bench . -benchtime 1x .
+	@$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 0 . > bench.raw.txt \
+		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
+	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR2.json
+	@rm -f bench.raw.txt
+	@echo "wrote BENCH_PR2.json"

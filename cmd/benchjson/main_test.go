@@ -1,0 +1,57 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: repro
+cpu: Imaginary CPU @ 3.00GHz
+BenchmarkTable2Summary-8   	       1	   1234567 ns/op
+BenchmarkFigure3   	       2	 987654321 ns/op	    4096 B/op	      12 allocs/op	     0.125 LinearFDA_comm_MB/op	       210 LinearFDA_steps/op
+PASS
+ok  	repro	12.345s
+`
+
+func TestParse(t *testing.T) {
+	var echo strings.Builder
+	rep, err := parse(strings.NewReader(sample), &echo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if echo.String() != sample {
+		t.Fatal("input not passed through verbatim")
+	}
+	if rep.GoOS != "linux" || rep.GoArch != "amd64" || rep.Pkg != "repro" || !strings.Contains(rep.CPU, "3.00GHz") {
+		t.Fatalf("header: %+v", rep)
+	}
+	if len(rep.Benchmarks) != 2 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b0 := rep.Benchmarks[0]
+	if b0.Op != "Table2Summary" || b0.Iterations != 1 || b0.NsPerOp != 1234567 || b0.BytesPerOp != 0 {
+		t.Fatalf("bench 0: %+v", b0)
+	}
+	b1 := rep.Benchmarks[1]
+	if b1.Op != "Figure3" || b1.Iterations != 2 || b1.NsPerOp != 987654321 ||
+		b1.BytesPerOp != 4096 || b1.AllocsPerOp != 12 {
+		t.Fatalf("bench 1: %+v", b1)
+	}
+	if b1.Metrics["LinearFDA_comm_MB/op"] != 0.125 || b1.Metrics["LinearFDA_steps/op"] != 210 {
+		t.Fatalf("custom metrics: %+v", b1.Metrics)
+	}
+}
+
+func TestParseBenchLineRejectsNoise(t *testing.T) {
+	for _, line := range []string{
+		"Benchmarking something else",
+		"BenchmarkX-8",
+		"BenchmarkX-8 notanint 5 ns/op",
+	} {
+		if _, ok := parseBenchLine(line); ok {
+			t.Fatalf("accepted %q", line)
+		}
+	}
+}

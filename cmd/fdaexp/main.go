@@ -2,12 +2,20 @@
 // workloads. Each experiment prints the data rows/series behind the
 // corresponding table or figure (see DESIGN.md §4 for the index).
 //
+// With -store, results are cached in a content-addressed run registry
+// (DESIGN.md §6): every grid cell that was already computed — by a
+// previous invocation, an interrupted sweep, or fdaserve — loads from
+// disk, and only the missing cells execute. Output is byte-identical
+// either way.
+//
 // Examples:
 //
 //	fdaexp -exp table2
 //	fdaexp -exp fig3
 //	fdaexp -exp all -scale quick
-//	fdaexp -exp fig12 -scale full      # paper-like grids; hours of CPU
+//	fdaexp -exp fig12 -scale full        # paper-like grids; hours of CPU
+//	fdaexp -exp all -store runs.d        # populate the run registry
+//	fdaexp -exp all -resume              # pick up where a killed sweep stopped
 package main
 
 import (
@@ -15,63 +23,76 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"strings"
 	"time"
 
+	"repro/internal/buildinfo"
 	"repro/internal/experiments"
+	"repro/internal/runstore"
 )
+
+// defaultStoreDir is where -resume caches runs when -store is not given.
+const defaultStoreDir = "fdaexp-store"
 
 func main() {
 	var (
-		exp   = flag.String("exp", "all", "table2, fig3 … fig13, or all")
-		scale = flag.String("scale", "quick", "tiny, quick or full")
-		seed  = flag.Uint64("seed", 1, "experiment seed")
-		jobs  = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (1 = sequential; output is identical at any setting)")
+		exp      = flag.String("exp", "all", "table2, fig3 … fig13, or all")
+		scale    = flag.String("scale", "quick", "tiny, quick or full")
+		seed     = flag.Uint64("seed", 1, "experiment seed")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (1 = sequential; output is identical at any setting)")
+		storeDir = flag.String("store", "", "run-registry directory: cache every grid cell's records there and reuse cached cells")
+		resume   = flag.Bool("resume", false, "resume from the run registry (implies -store "+defaultStoreDir+" when -store is not set)")
+		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
 
-	var sc experiments.Scale
-	switch *scale {
-	case "tiny":
-		sc = experiments.Tiny
-	case "quick":
-		sc = experiments.Quick
-	case "full":
-		sc = experiments.Full
-	default:
+	if *version {
+		fmt.Println(buildinfo.String("fdaexp"))
+		return
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
 		fmt.Fprintf(os.Stderr, "fdaexp: unknown scale %q\n", *scale)
 		os.Exit(1)
 	}
 	o := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout, Jobs: *jobs}
 
-	runners := map[string]func(experiments.Options){
-		"table2": func(o experiments.Options) { experiments.Table2(o) },
-		"fig3":   func(o experiments.Options) { experiments.Figure3(o) },
-		"fig4":   func(o experiments.Options) { experiments.Figure4(o) },
-		"fig5":   func(o experiments.Options) { experiments.Figure5(o) },
-		"fig6":   func(o experiments.Options) { experiments.Figure6(o) },
-		"fig7":   func(o experiments.Options) { experiments.Figure7(o) },
-		"fig8":   func(o experiments.Options) { experiments.Figure8(o) },
-		"fig9":   func(o experiments.Options) { experiments.Figure9(o) },
-		"fig10":  func(o experiments.Options) { experiments.Figure10(o) },
-		"fig11":  func(o experiments.Options) { experiments.Figure11(o) },
-		"fig12":  func(o experiments.Options) { experiments.Figure12(o) },
-		"fig13":  func(o experiments.Options) { experiments.Figure13(o) },
+	if *resume && *storeDir == "" {
+		*storeDir = defaultStoreDir
 	}
-	order := []string{"table2", "fig3", "fig4", "fig5", "fig6", "fig7",
-		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	if *storeDir != "" {
+		st, err := runstore.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdaexp: opening store: %v\n", err)
+			os.Exit(1)
+		}
+		o.Store = st
+		o.Stats = &experiments.SweepStats{}
+	}
 
-	if *exp == "all" {
-		for _, name := range order {
-			start := time.Now()
-			runners[name](o)
+	names := experiments.PaperNames()
+	if *exp != "all" {
+		if _, ok := experiments.Lookup(*exp); !ok {
+			fmt.Fprintf(os.Stderr, "fdaexp: unknown experiment %q (have %s)\n",
+				*exp, strings.Join(experiments.Names(), ", "))
+			os.Exit(1)
+		}
+		names = []string{*exp}
+	}
+
+	for _, name := range names {
+		start := time.Now()
+		if _, err := experiments.Run(name, o); err != nil {
+			fmt.Fprintf(os.Stderr, "fdaexp: %v\n", err)
+			os.Exit(1)
+		}
+		if *exp == "all" {
 			fmt.Printf("[%s done in %.0fs]\n", name, time.Since(start).Seconds())
 		}
-		return
 	}
-	run, ok := runners[*exp]
-	if !ok {
-		fmt.Fprintf(os.Stderr, "fdaexp: unknown experiment %q\n", *exp)
-		os.Exit(1)
+	if o.Stats != nil {
+		fmt.Printf("[store %s: %d cells, %d cached, %d executed]\n",
+			*storeDir, o.Stats.Cells.Load(), o.Stats.Cached.Load(), o.Stats.Executed.Load())
 	}
-	run(o)
 }

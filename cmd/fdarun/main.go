@@ -20,6 +20,7 @@ import (
 	"strings"
 
 	"repro/fda"
+	"repro/internal/buildinfo"
 )
 
 func main() {
@@ -40,8 +41,14 @@ func main() {
 		async    = flag.Bool("async", false, "run the asynchronous (coordinator) FDA variant")
 		speeds   = flag.String("speeds", "", "comma-separated per-worker speeds for -async")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "goroutines for the worker/eval loops (1 = sequential; results are bit-identical; no effect with -async, whose coordinator runner is sequential)")
+		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("fdarun"))
+		return
+	}
 
 	spec, err := fda.ModelByName(*model)
 	if err != nil {

@@ -1,0 +1,54 @@
+// Command fdaserve exposes the experiment suite as an HTTP service
+// backed by the content-addressed run registry: submit a run spec, poll
+// its status, fetch its records, and browse the cached-run catalog.
+// Because every grid cell persists in the registry, repeated or
+// previously interrupted specs cost only the cells the store does not
+// yet hold (DESIGN.md §6).
+//
+//	fdaserve -store runs.d -addr :8080
+//
+//	curl -s localhost:8080/v1/experiments
+//	curl -s -X POST localhost:8080/v1/runs -d '{"experiment":"fig3","scale":"tiny","seed":1}'
+//	curl -s localhost:8080/v1/runs/r1
+//	curl -s localhost:8080/v1/runs/r1/records
+//	curl -s localhost:8080/v1/runs/r1/output
+//	curl -s localhost:8080/v1/store
+package main
+
+import (
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"runtime"
+
+	"repro/internal/buildinfo"
+	"repro/internal/runstore"
+)
+
+func main() {
+	var (
+		addr     = flag.String("addr", ":8080", "listen address")
+		storeDir = flag.String("store", "fdaserve-store", "run-registry directory backing the service")
+		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells per run (results are identical at any setting)")
+		version  = flag.Bool("version", false, "print version information and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("fdaserve"))
+		return
+	}
+
+	st, err := runstore.Open(*storeDir)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdaserve: opening store: %v\n", err)
+		os.Exit(1)
+	}
+	s := newServer(st, *jobs)
+	fmt.Printf("fdaserve: listening on %s, store %s\n", *addr, *storeDir)
+	if err := http.ListenAndServe(*addr, s.routes()); err != nil {
+		fmt.Fprintf(os.Stderr, "fdaserve: %v\n", err)
+		os.Exit(1)
+	}
+}

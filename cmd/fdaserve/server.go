@@ -1,0 +1,311 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+
+	"repro/internal/buildinfo"
+	"repro/internal/experiments"
+	"repro/internal/runstore"
+)
+
+// server is the experiment service: it accepts run specs over HTTP,
+// executes them through the registry's store-aware scheduler, and
+// serves status, records and the cached-run catalog. Identical specs
+// dedupe onto one job, and every completed grid cell lands in the run
+// registry, so resubmitting a finished (or killed) spec costs only the
+// cells the store does not yet hold.
+type server struct {
+	store *runstore.Store
+	// jobs is the per-sweep cell parallelism (par.Resolve convention).
+	jobs int
+
+	mu     sync.Mutex
+	byID   map[string]*job
+	byKey  map[string]*job
+	order  []string
+	nextID int
+}
+
+func newServer(store *runstore.Store, jobs int) *server {
+	return &server{
+		store: store,
+		jobs:  jobs,
+		byID:  map[string]*job{},
+		byKey: map[string]*job{},
+	}
+}
+
+// job is one submitted sweep.
+type job struct {
+	ID         string
+	Experiment string
+	Scale      string
+	Seed       uint64
+
+	stats *experiments.SweepStats
+	out   *lockedBuffer
+	done  chan struct{}
+
+	mu     sync.Mutex
+	status string // "running", "done" or "failed"
+	errMsg string
+	result any
+}
+
+// jobView is the status representation shared by every endpoint.
+type jobView struct {
+	ID         string `json:"id"`
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+	Status     string `json:"status"`
+	Error      string `json:"error,omitempty"`
+	// Cells/Cached/Executed track grid progress live while running.
+	Cells    int64 `json:"cells"`
+	Cached   int64 `json:"cached"`
+	Executed int64 `json:"executed"`
+}
+
+func (j *job) view() jobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return jobView{
+		ID: j.ID, Experiment: j.Experiment, Scale: j.Scale, Seed: j.Seed,
+		Status: j.status, Error: j.errMsg,
+		Cells:    j.stats.Cells.Load(),
+		Cached:   j.stats.Cached.Load(),
+		Executed: j.stats.Executed.Load(),
+	}
+}
+
+// routes builds the API surface:
+//
+//	GET  /healthz                 liveness
+//	GET  /v1/version              build information
+//	GET  /v1/experiments          registered runners
+//	GET  /v1/store                cached-run manifests
+//	GET  /v1/runs                 submitted jobs
+//	POST /v1/runs                 submit {"experiment","scale","seed"}
+//	GET  /v1/runs/{id}            poll one job
+//	GET  /v1/runs/{id}/records    fetch a finished job's records
+//	GET  /v1/runs/{id}/output     fetch the rendered tables/plots
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]string{"version": buildinfo.String("fdaserve")})
+	})
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/store", s.handleStore)
+	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
+	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	mux.HandleFunc("GET /v1/runs/{id}/records", s.handleRecords)
+	mux.HandleFunc("GET /v1/runs/{id}/output", s.handleOutput)
+	return mux
+}
+
+func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	type entry struct {
+		Name     string `json:"name"`
+		Artifact string `json:"artifact"`
+	}
+	var out []entry
+	for _, r := range experiments.Runners() {
+		out = append(out, entry{r.Name, r.Artifact})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *server) handleStore(w http.ResponseWriter, r *http.Request) {
+	ms, err := s.store.List()
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	if ms == nil {
+		ms = []runstore.Manifest{}
+	}
+	writeJSON(w, http.StatusOK, ms)
+}
+
+func (s *server) handleListRuns(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	views := make([]jobView, 0, len(s.order))
+	for _, id := range s.order {
+		views = append(views, s.byID[id].view())
+	}
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, views)
+}
+
+// submitRequest is the POST /v1/runs body.
+type submitRequest struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+}
+
+func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var req submitRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Scale == "" {
+		req.Scale = "quick"
+	}
+	if req.Seed == 0 {
+		req.Seed = 1
+	}
+	if _, ok := experiments.Lookup(req.Experiment); !ok {
+		writeError(w, http.StatusBadRequest,
+			fmt.Sprintf("unknown experiment %q (have %s)", req.Experiment, strings.Join(experiments.Names(), ", ")))
+		return
+	}
+	scale, err := experiments.ParseScale(req.Scale)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	key := fmt.Sprintf("%s|%s|%d", req.Experiment, req.Scale, req.Seed)
+	s.mu.Lock()
+	if j, ok := s.byKey[key]; ok {
+		// Running and completed jobs dedupe; a failed job gives way to a
+		// retry (which re-executes only the cells the registry lacks).
+		if j.view().Status != "failed" {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusOK, j.view())
+			return
+		}
+	}
+	s.nextID++
+	j := &job{
+		ID:         fmt.Sprintf("r%d", s.nextID),
+		Experiment: req.Experiment,
+		Scale:      req.Scale,
+		Seed:       req.Seed,
+		stats:      &experiments.SweepStats{},
+		out:        &lockedBuffer{},
+		done:       make(chan struct{}),
+		status:     "running",
+	}
+	s.byID[j.ID] = j
+	s.byKey[key] = j
+	s.order = append(s.order, j.ID)
+	s.mu.Unlock()
+
+	go s.execute(j, scale)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// execute runs the sweep; the store-aware scheduler inside the runner
+// serves every already-cached cell from disk.
+func (s *server) execute(j *job, scale experiments.Scale) {
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			j.mu.Lock()
+			j.status, j.errMsg = "failed", fmt.Sprintf("panic: %v", r)
+			j.mu.Unlock()
+		}
+	}()
+	res, err := experiments.Run(j.Experiment, experiments.Options{
+		Scale: scale,
+		Seed:  j.Seed,
+		Out:   j.out,
+		Jobs:  s.jobs,
+		Store: s.store,
+		Stats: j.stats,
+	})
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if err != nil {
+		j.status, j.errMsg = "failed", err.Error()
+		return
+	}
+	j.status, j.result = "done", res
+}
+
+func (s *server) job(r *http.Request) (*job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.byID[r.PathValue("id")]
+	return j, ok
+}
+
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	j.mu.Lock()
+	status, result := j.status, j.result
+	j.mu.Unlock()
+	switch status {
+	case "running":
+		writeError(w, http.StatusConflict, "run still executing; poll /v1/runs/"+j.ID)
+	case "failed":
+		writeError(w, http.StatusConflict, "run failed; see /v1/runs/"+j.ID)
+	default:
+		writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "records": result})
+	}
+}
+
+func (s *server) handleOutput(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprint(w, j.out.String())
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, map[string]string{"error": msg})
+}
+
+// lockedBuffer lets status endpoints read a job's rendered output while
+// the runner is still writing it.
+type lockedBuffer struct {
+	mu sync.Mutex
+	b  strings.Builder
+}
+
+func (l *lockedBuffer) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.Write(p)
+}
+
+func (l *lockedBuffer) String() string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.b.String()
+}

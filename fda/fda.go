@@ -42,6 +42,7 @@ import (
 	"repro/internal/models"
 	"repro/internal/nn"
 	"repro/internal/opt"
+	"repro/internal/runstore"
 	"repro/internal/sketch"
 	"repro/internal/tensor"
 )
@@ -249,6 +250,28 @@ var (
 	SaveCheckpoint = checkpoint.Save
 	LoadCheckpoint = checkpoint.Load
 )
+
+// Run registry: the content-addressed result store behind fdaexp -store
+// and fdaserve. Results are keyed by the hash of a canonical RunSpec;
+// because runs are bit-identical in their spec at any parallelism, a
+// cached result is interchangeable with a fresh computation.
+type (
+	// RunStore is a content-addressed store of experiment records.
+	RunStore = runstore.Store
+	// RunSpec canonically identifies one run (parallelism-independent
+	// fields only); RunSpec.Hash is its content address.
+	RunSpec = runstore.Spec
+	// RunManifest describes one stored run.
+	RunManifest = runstore.Manifest
+)
+
+// OpenStore opens (creating as needed) a run registry rooted at a
+// directory.
+var OpenStore = runstore.Open
+
+// Cached reports whether st already holds verified records for spec —
+// i.e. whether resubmitting spec would be served from cache.
+func Cached(st *RunStore, spec RunSpec) bool { return st.Contains(spec) }
 
 // RNG re-exports the deterministic generator used throughout.
 type RNG = tensor.RNG

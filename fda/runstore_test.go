@@ -1,0 +1,47 @@
+package fda_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"repro/fda"
+)
+
+// TestRunRegistryFacade exercises the library-user path to the run
+// registry: open a store, check a spec, persist records, read them
+// back.
+func TestRunRegistryFacade(t *testing.T) {
+	st, err := fda.OpenStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := fda.RunSpec{
+		Experiment: "custom", Seed: 1,
+		Model: "lenet5s", Strategy: "LinearFDA", Theta: 0.05, K: 5,
+		Het: "iid", Targets: []float64{0.9}, CellSeed: 42,
+	}
+	if fda.Cached(st, spec) {
+		t.Fatal("fresh store reports spec cached")
+	}
+	if spec.Hash() == (fda.RunSpec{Experiment: "custom", Seed: 2}).Hash() {
+		t.Fatal("different specs share a hash")
+	}
+	if err := st.Put(spec, []json.RawMessage{json.RawMessage(`{"steps":12}`)}); err != nil {
+		t.Fatal(err)
+	}
+	if !fda.Cached(st, spec) {
+		t.Fatal("stored spec not reported cached")
+	}
+	recs, ok, err := st.Get(spec)
+	if err != nil || !ok || len(recs) != 1 || string(recs[0]) != `{"steps":12}` {
+		t.Fatalf("get: %s ok=%v err=%v", recs, ok, err)
+	}
+	ms, err := st.List()
+	if err != nil || len(ms) != 1 {
+		t.Fatalf("list: %v err=%v", ms, err)
+	}
+	var m fda.RunManifest = ms[0]
+	if m.Spec.Experiment != "custom" || m.Records != 1 {
+		t.Fatalf("manifest: %+v", m)
+	}
+}

@@ -1,0 +1,45 @@
+// Package buildinfo renders the module version and VCS revision every
+// binary reports behind its -version flag, read from the build metadata
+// the Go toolchain embeds (no ldflags required).
+package buildinfo
+
+import (
+	"fmt"
+	"runtime"
+	"runtime/debug"
+)
+
+// String formats version information for one named binary, e.g.
+//
+//	fdaserve repro (devel) go1.24.0 rev 2ce6692… (modified)
+func String(binary string) string {
+	return binary + " " + describe(debug.ReadBuildInfo())
+}
+
+// describe is the testable core of String.
+func describe(bi *debug.BuildInfo, ok bool) string {
+	if !ok || bi == nil {
+		return "(build info unavailable) " + runtime.Version()
+	}
+	version := bi.Main.Version
+	if version == "" {
+		version = "(devel)"
+	}
+	rev, modified := "unknown", false
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			modified = s.Value == "true"
+		}
+	}
+	out := fmt.Sprintf("%s %s %s rev %s", bi.Main.Path, version, bi.GoVersion, rev)
+	if modified {
+		out += " (modified)"
+	}
+	return out
+}

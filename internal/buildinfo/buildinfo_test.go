@@ -1,0 +1,43 @@
+package buildinfo
+
+import (
+	"runtime/debug"
+	"strings"
+	"testing"
+)
+
+func TestStringNamesBinary(t *testing.T) {
+	s := String("fdatest")
+	if !strings.HasPrefix(s, "fdatest ") {
+		t.Fatalf("missing binary name: %q", s)
+	}
+	// Under `go test` build info is available and names this module.
+	if !strings.Contains(s, "repro") {
+		t.Fatalf("missing module path: %q", s)
+	}
+}
+
+func TestDescribeFallback(t *testing.T) {
+	if s := describe(nil, false); !strings.Contains(s, "unavailable") {
+		t.Fatalf("fallback missing: %q", s)
+	}
+}
+
+func TestDescribeVCSFields(t *testing.T) {
+	bi := &debug.BuildInfo{GoVersion: "go1.24.0"}
+	bi.Main.Path = "repro"
+	bi.Main.Version = "v1.2.3"
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "abcdef0123456789"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	s := describe(bi, true)
+	for _, want := range []string{"repro", "v1.2.3", "go1.24.0", "rev abcdef012345", "(modified)"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("%q missing %q", s, want)
+		}
+	}
+	if strings.Contains(s, "abcdef0123456789") {
+		t.Fatalf("revision not truncated: %q", s)
+	}
+}

@@ -2,8 +2,10 @@ package checkpoint
 
 import (
 	"bytes"
+	"encoding/binary"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 	"testing/quick"
 
@@ -64,6 +66,79 @@ func TestCorruptionDetected(t *testing.T) {
 	data[40] ^= 0x01 // flip one payload bit
 	if _, err := Read(bytes.NewReader(data)); err == nil {
 		t.Fatal("corrupted checkpoint accepted")
+	}
+}
+
+// TestCRCTrailerCorruptionDetected flips a bit in the CRC trailer
+// itself (the payload stays intact), which must still be rejected.
+func TestCRCTrailerCorruptionDetected(t *testing.T) {
+	s := sampleSnapshot(64, 5)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	data[len(data)-1] ^= 0x80 // inside the 8-byte CRC64 trailer
+	_, err := Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("corrupted CRC trailer accepted")
+	}
+	if !strings.Contains(err.Error(), "CRC mismatch") {
+		t.Fatalf("want CRC mismatch error, got: %v", err)
+	}
+}
+
+// TestWrongVersionRejected patches the header's version field to an
+// unsupported value; Read must fail on the version check (which runs
+// before the CRC is even reachable) with a version error.
+func TestWrongVersionRejected(t *testing.T) {
+	s := sampleSnapshot(16, 6)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Layout: bytes [0,8) magic, [8,16) version.
+	binary.LittleEndian.PutUint64(data[8:16], version+1)
+	_, err := Read(bytes.NewReader(data))
+	if err == nil {
+		t.Fatal("wrong-version checkpoint accepted")
+	}
+	if !strings.Contains(err.Error(), "unsupported version") {
+		t.Fatalf("want unsupported-version error, got: %v", err)
+	}
+}
+
+// TestTruncationEveryPrefix rejects a checkpoint cut at any point: in
+// the header, inside a vector, and inside the CRC trailer.
+func TestTruncationEveryPrefix(t *testing.T) {
+	s := sampleSnapshot(8, 7)
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	for _, n := range []int{0, 4, 8, 15, 16, 23, 24, 40, len(data) - 12, len(data) - 1} {
+		if _, err := Read(bytes.NewReader(data[:n])); err == nil {
+			t.Fatalf("checkpoint truncated to %d of %d bytes accepted", n, len(data))
+		}
+	}
+}
+
+// TestImplausibleLengthRejected: a corrupt vector length must fail fast
+// instead of attempting a giant allocation.
+func TestImplausibleLengthRejected(t *testing.T) {
+	s := &Snapshot{Step: 1, Params: []float64{1}}
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	data := buf.Bytes()
+	// Bytes [24,32) hold len(Params); write an absurd value.
+	binary.LittleEndian.PutUint64(data[24:32], 1<<40)
+	_, err := Read(bytes.NewReader(data))
+	if err == nil || !strings.Contains(err.Error(), "implausible") {
+		t.Fatalf("want implausible-length error, got: %v", err)
 	}
 }
 

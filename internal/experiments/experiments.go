@@ -18,6 +18,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/models"
+	"repro/internal/runstore"
 )
 
 // Scale selects the sweep density.
@@ -57,6 +58,15 @@ type Options struct {
 	// and records are collected in grid order, so the output is identical
 	// at every setting.
 	Jobs int
+	// Store, when non-nil, is the run registry consulted before each grid
+	// cell dispatches: cells already present load from disk, only missing
+	// ones execute, and fresh results persist before the runner returns —
+	// so repeated or interrupted sweeps resume from cache. Cached and
+	// computed records are byte-identical by the determinism contract.
+	Store *runstore.Store
+	// Stats, when non-nil, accumulates cell-scheduling counters
+	// (total/cached/executed) across the runner's grids.
+	Stats *SweepStats
 }
 
 func (o Options) out() io.Writer {

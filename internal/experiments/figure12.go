@@ -7,6 +7,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/data"
 	"repro/internal/metrics"
+	"repro/internal/runstore"
 )
 
 // ThetaFit is one deployment setting's empirical Θ* ≈ c·d line (Figure 12).
@@ -45,53 +46,61 @@ func Figure12(o Options) []ThetaFit {
 
 	profiles := []comm.NetworkProfile{comm.ProfileFL, comm.ProfileBalanced, comm.ProfileHPC}
 
+	// cell is one reached (model, Θ) run's cost summary. It holds raw
+	// byte counts rather than a live meter so it can persist in the run
+	// registry; profile wall-times are derived from the bytes post-hoc.
 	type cell struct {
-		theta float64
-		meter *comm.Meter
-		steps int
+		Theta      float64 `json:"theta"`
+		Steps      int     `json:"steps"`
+		StateBytes int64   `json:"state_bytes"`
+		ModelBytes int64   `json:"model_bytes"`
 	}
 	out := o.out()
 	fmt.Fprintf(out, "\n== fig12 — empirical Θ* vs d per deployment setting ==\n")
 
 	// Run the Θ sweeps once per model; evaluate every profile on the same
-	// sweep (wall-time is a post-hoc function of the meter). The (model, Θ)
-	// runs are independent, so they dispatch across the job pool; unreached
-	// cells come back nil and the per-model sweep keeps Θ order.
+	// sweep (wall-time is a post-hoc function of the byte counts). The
+	// (model, Θ) runs are independent, so they dispatch through the
+	// store-aware scheduler; unreached cells come back empty and the
+	// per-model sweep keeps Θ order.
 	type job struct {
 		name  string
-		w     workload
+		lw    *lazyWorkload
 		theta float64
 	}
 	var jobsList []job
 	dims := map[string]float64{}
 	for _, name := range modelNames {
-		w := loadWorkload(name, o.Seed)
-		dims[name] = float64(w.spec.Params)
-		thetas := w.spec.ThetaGrid
+		lw := newLazyWorkload(name, o.Seed)
+		dims[name] = float64(lw.spec.Params)
+		thetas := lw.spec.ThetaGrid
 		if o.Scale == Tiny {
 			thetas = thetas[:3]
 		}
 		for _, th := range thetas {
-			jobsList = append(jobsList, job{name, w, th})
+			jobsList = append(jobsList, job{name, lw, th})
 		}
 	}
-	results := parMap(o.Jobs, len(jobsList), func(i int) *cell {
+	specs := make([]runstore.Spec, len(jobsList))
+	for i, j := range jobsList {
+		specs[i] = o.cellSpec("fig12", j.name, "LinearFDA", j.theta, 3, "iid",
+			[]float64{targets[j.name]}, o.Seed+31)
+	}
+	results := runGrid(o, specs, func(i int) []cell {
 		j := jobsList[i]
 		maxSteps, evalEvery := modelBudget(j.name)
-		cfg := j.w.baseConfig(3, o.Seed+31, maxSteps, evalEvery, targets[j.name], data.IID())
+		cfg := j.lw.get().baseConfig(3, o.Seed+31, maxSteps, evalEvery, targets[j.name], data.IID())
 		res := core.MustRun(cfg, core.NewLinearFDA(j.theta))
 		if !res.ReachedTarget {
 			return nil
 		}
-		m := comm.NewMeter()
-		m.Charge("state", res.StateBytes)
-		m.Charge("model", res.ModelBytes)
-		return &cell{theta: j.theta, meter: m, steps: res.Steps}
+		return []cell{{Theta: j.theta, Steps: res.Steps,
+			StateBytes: res.StateBytes, ModelBytes: res.ModelBytes}}
 	})
 	sweeps := map[string][]cell{}
-	for i, c := range results {
-		if c != nil {
-			sweeps[jobsList[i].name] = append(sweeps[jobsList[i].name], *c)
+	for i, cs := range results {
+		if len(cs) > 0 {
+			sweeps[jobsList[i].name] = append(sweeps[jobsList[i].name], cs[0])
 		}
 	}
 
@@ -103,9 +112,9 @@ func Figure12(o Options) []ThetaFit {
 			bestTime := 0.0
 			for i, c := range sweeps[name] {
 				scaled := comm.NewMeter()
-				scaled.Charge("model", int64(byteScale*float64(c.meter.BytesFor("model"))))
-				scaled.Charge("state", int64(byteScale*float64(c.meter.BytesFor("state"))))
-				t := p.CommTime(scaled) + computeSecPerStep*float64(c.steps)
+				scaled.Charge("model", int64(byteScale*float64(c.ModelBytes)))
+				scaled.Charge("state", int64(byteScale*float64(c.StateBytes)))
+				t := p.CommTime(scaled) + computeSecPerStep*float64(c.Steps)
 				if best < 0 || t < bestTime {
 					best, bestTime = i, t
 				}
@@ -114,7 +123,7 @@ func Figure12(o Options) []ThetaFit {
 				continue
 			}
 			fit.Dims = append(fit.Dims, dims[name])
-			fit.BestTheta = append(fit.BestTheta, sweeps[name][best].theta)
+			fit.BestTheta = append(fit.BestTheta, sweeps[name][best].Theta)
 		}
 		if len(fit.Dims) > 0 {
 			fit.Slope = metrics.FitThroughOrigin(fit.Dims, fit.BestTheta)

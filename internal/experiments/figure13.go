@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/models"
+	"repro/internal/runstore"
 )
 
 // Figure13 reproduces Figure 13: the transfer-learning scenario. The
@@ -64,7 +65,20 @@ func Figure13(o Options) []Record {
 			}
 		}
 	}
-	recs := flatten(parMap(o.Jobs, len(cells), func(i int) []Record {
+	// The pre-trained initialization is an extra cell input the grid
+	// coordinates do not capture; its recipe goes into Extra. (The
+	// pre-training stage itself always runs — the printed baseline
+	// accuracy and the target derive from it — but the fine-tuning runs,
+	// which dominate the cost, are cached.)
+	pretrainTag := fmt.Sprintf("steps=200,b=32,seed=%d", o.Seed+99)
+	specs := make([]runstore.Spec, len(cells))
+	for i, c := range cells {
+		sp := o.cellSpec("fig13", "convnexts", c.strat, c.theta, c.k, "iid",
+			[]float64{target}, c.seed)
+		sp.Extra = map[string]string{"pretrain": pretrainTag}
+		specs[i] = sp
+	}
+	recs := flatten(runGrid(o, specs, func(i int) []Record {
 		c := cells[i]
 		return runToTargets("fig13", w, c.strat, c.theta, c.k,
 			data.IID(), []float64{target}, c.seed)

@@ -2,9 +2,11 @@ package experiments
 
 import (
 	"fmt"
+	"strconv"
 
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/runstore"
 )
 
 // Curve is one strategy's training-accuracy progression (Figure 7).
@@ -42,22 +44,35 @@ func Figure7(o Options) []Curve {
 	strategies := []string{"LinearFDA", "SketchFDA", "FedAvgM", "Synchronous"}
 
 	// One cell per (panel, strategy); the runs are independent full-length
-	// trajectories, so they dispatch across the job pool and the curves
-	// come back in panel-major order for printing.
+	// trajectories, so they dispatch through the store-aware scheduler
+	// and the curves come back in panel-major order for printing. The
+	// spec carries the panel's step budget (an input the grid coordinates
+	// alone do not determine) in Extra.
 	type cell struct {
 		panel int
 		strat string
 	}
-	ws := make([]workload, len(panels))
+	lws := make([]*lazyWorkload, len(panels))
 	var cells []cell
 	for pi := range panels {
-		ws[pi] = loadWorkload(panels[pi].model, o.Seed)
+		lws[pi] = newLazyWorkload(panels[pi].model, o.Seed)
 		for _, strat := range strategies {
 			cells = append(cells, cell{pi, strat})
 		}
 	}
-	curves := parMap(o.Jobs, len(cells), func(i int) Curve {
-		p, w := panels[cells[i].panel], ws[cells[i].panel]
+	specs := make([]runstore.Spec, len(cells))
+	for i, c := range cells {
+		p := panels[c.panel]
+		th := 0.0
+		if isFDA(c.strat) {
+			th = lws[c.panel].spec.ThetaGrid[1]
+		}
+		sp := o.cellSpec("fig7", p.model, c.strat, th, 5, "iid", []float64{p.target}, o.Seed+7)
+		sp.Extra = map[string]string{"steps": strconv.Itoa(p.steps), "train_acc": "1"}
+		specs[i] = sp
+	}
+	perCell := runGrid(o, specs, func(i int) []Curve {
+		p, w := panels[cells[i].panel], lws[cells[i].panel].get()
 		strat := cells[i].strat
 		theta := w.spec.ThetaGrid[1]
 		cfg := w.baseConfig(5, o.Seed+7, p.steps, 20, 0 /* run full length */, data.IID())
@@ -80,15 +95,21 @@ func Figure7(o Options) []Curve {
 		if n := len(c.TrainAcc); n > 0 {
 			c.Gap = c.TrainAcc[n-1] - c.TestAcc[n-1]
 		}
-		return c
+		return []Curve{c}
 	})
+	curves := make([]Curve, len(cells))
+	for i, cs := range perCell {
+		if len(cs) > 0 {
+			curves[i] = cs[0]
+		}
+	}
 
 	out := o.out()
 	for i, c := range curves {
 		if i%len(strategies) == 0 {
 			pi := cells[i].panel
 			fmt.Fprintf(out, "\n== fig7 — %s, IID, K=5, Θ=%.3f, target %.2f ==\n",
-				ws[pi].spec.PaperModel, ws[pi].spec.ThetaGrid[1], panels[pi].target)
+				lws[pi].spec.PaperModel, lws[pi].spec.ThetaGrid[1], panels[pi].target)
 		}
 		fmt.Fprintf(out, "%-12s target@epoch=%.1f final train=%.3f test=%.3f gap=%.3f\n",
 			c.Strategy, c.TargetEpoch, last(c.TrainAcc), last(c.TestAcc), c.Gap)

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/data"
 	"repro/internal/metrics"
+	"repro/internal/runstore"
 )
 
 // The KDE-cloud figures (3–6) all share one shape: for a fixed model and
@@ -35,12 +36,12 @@ func (o Options) grids(thetaGrid []float64) (ks []int, thetas []float64) {
 }
 
 func cloudFigure(cs cloudSpec, o Options) []Record {
-	w := loadWorkload(cs.model, o.Seed)
-	ks, thetas := o.grids(w.spec.ThetaGrid)
+	lw := newLazyWorkload(cs.model, o.Seed)
+	ks, thetas := o.grids(lw.spec.ThetaGrid)
 
 	// Enumerate the grid first — the seed assignment follows the nested
 	// loop order exactly as the sequential runner did — then dispatch the
-	// independent cells across the job pool and flatten in grid order.
+	// cells through the store-aware scheduler and flatten in grid order.
 	type cell struct {
 		het   data.Heterogeneity
 		strat string
@@ -65,11 +66,16 @@ func cloudFigure(cs cloudSpec, o Options) []Record {
 			}
 		}
 	}
-	recs := flatten(parMap(o.Jobs, len(cells), func(i int) []Record {
+	specs := make([]runstore.Spec, len(cells))
+	for i, c := range cells {
+		specs[i] = o.cellSpec(cs.figure, cs.model, c.strat, c.theta, c.k,
+			c.het.String(), cs.targets, c.seed)
+	}
+	recs := flatten(runGrid(o, specs, func(i int) []Record {
 		c := cells[i]
-		return runToTargets(cs.figure, w, c.strat, c.theta, c.k, c.het, cs.targets, c.seed)
+		return runToTargets(cs.figure, lw.get(), c.strat, c.theta, c.k, c.het, cs.targets, c.seed)
 	}))
-	printRecords(o.out(), cs.figure+" — "+w.spec.PaperModel+" ("+cs.model+")", recs)
+	printRecords(o.out(), cs.figure+" — "+lw.spec.PaperModel+" ("+cs.model+")", recs)
 	summarize(o.out(), recs)
 	plotCloud(o.out(), cs.figure, recs)
 	return recs
@@ -104,6 +110,20 @@ func plotCloud(out io.Writer, figure string, recs []Record) {
 		p.Add(name, xs, ys)
 	}
 	p.Render(out)
+}
+
+// Smoke is a cheap validation sweep — LeNet-5, IID, a target low enough
+// to reach within the first evaluations — that exercises the full
+// runner/scheduler/registry stack in seconds. It reproduces no paper
+// artifact; fdaserve smoke tests and quick cache probes use it.
+func Smoke(o Options) []Record {
+	return cloudFigure(cloudSpec{
+		figure:     "smoke",
+		model:      "lenet5s",
+		hets:       []data.Heterogeneity{data.IID()},
+		targets:    []float64{0.5},
+		strategies: []string{"LinearFDA", "Synchronous"},
+	}, o)
 }
 
 // Figure3 reproduces Figure 3: LeNet-5 on MNIST across IID, Non-IID

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/data"
+	"repro/internal/runstore"
 )
 
 // Figures 8–11 share one shape: for a fixed model and accuracy target,
@@ -30,13 +31,14 @@ func (o Options) sweepGrids(thetaGrid []float64) (ks []int, thetas []float64, fi
 }
 
 func sweepFigure(ss sweepSpec, o Options) []Record {
-	w := loadWorkload(ss.model, o.Seed)
-	ks, thetas, fixedK := o.sweepGrids(w.spec.ThetaGrid)
-	fixedTheta := w.spec.ThetaGrid[1]
+	lw := newLazyWorkload(ss.model, o.Seed)
+	ks, thetas, fixedK := o.sweepGrids(lw.spec.ThetaGrid)
+	fixedTheta := lw.spec.ThetaGrid[1]
 	targets := []float64{ss.target}
 
 	// Enumerate both panels (seed order matches the sequential loops),
-	// then dispatch the cells across the job pool in grid order.
+	// then dispatch the cells through the store-aware scheduler in grid
+	// order.
 	type cell struct {
 		figure string
 		strat  string
@@ -65,12 +67,16 @@ func sweepFigure(ss sweepSpec, o Options) []Record {
 			cells = append(cells, cell{ss.figure + "-Theta", strat, th, fixedK, seed})
 		}
 	}
-	recs := flatten(parMap(o.Jobs, len(cells), func(i int) []Record {
+	specs := make([]runstore.Spec, len(cells))
+	for i, c := range cells {
+		specs[i] = o.cellSpec(c.figure, ss.model, c.strat, c.theta, c.k, "iid", targets, c.seed)
+	}
+	recs := flatten(runGrid(o, specs, func(i int) []Record {
 		c := cells[i]
-		return runToTargets(c.figure, w, c.strat, c.theta, c.k, data.IID(), targets, c.seed)
+		return runToTargets(c.figure, lw.get(), c.strat, c.theta, c.k, data.IID(), targets, c.seed)
 	}))
 	printRecords(o.out(), fmt.Sprintf("%s — %s: cost vs K (Θ=%.3f) and vs Θ (K=%d), target %.2f",
-		ss.figure, w.spec.PaperModel, fixedTheta, fixedK, ss.target), recs)
+		ss.figure, lw.spec.PaperModel, fixedTheta, fixedK, ss.target), recs)
 	return recs
 }
 

@@ -1,0 +1,111 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/models"
+	"repro/internal/runstore"
+)
+
+// SweepStats accumulates cell-scheduling counters across a runner's
+// grids. Counters are atomic so a monitor (e.g. fdaserve's status
+// endpoint) can read them while the sweep is still executing: Cells
+// rises when a grid is enumerated, Executed ticks per computed cell as
+// it finishes, and Cached lands when the grid's cache consultation is
+// folded in.
+type SweepStats struct {
+	// Cells is the total grid size seen so far; Cached of those were
+	// served from the run registry and Executed were computed.
+	Cells, Cached, Executed atomic.Int64
+}
+
+// cellSpec builds the canonical registry spec for one grid cell. Every
+// argument is parallelism-independent and together they determine the
+// cell's records bit-for-bit (DESIGN.md §3), which is what makes the
+// content-addressed cache sound (DESIGN.md §6).
+func (o Options) cellSpec(experiment, model, strategy string, theta float64,
+	k int, het string, targets []float64, cellSeed uint64) runstore.Spec {
+	return runstore.Spec{
+		Experiment: experiment,
+		Scale:      o.Scale.String(),
+		Seed:       o.Seed,
+		Model:      model,
+		Strategy:   strategy,
+		Theta:      theta,
+		K:          k,
+		Het:        het,
+		Targets:    append([]float64(nil), targets...),
+		CellSeed:   cellSeed,
+	}
+}
+
+// runGrid is the store-aware sink every runner emits its cells through:
+// cells already in o.Store load from disk, the rest compute on the job
+// pool and persist before returning. Results come back in grid order
+// and are byte-identical whatever mix of cache hits and parallelism
+// produced them, so callers print and post-process exactly as they
+// would after a fresh sequential sweep.
+func runGrid[R any](o Options, specs []runstore.Spec, compute func(i int) []R) [][]R {
+	track := compute
+	if o.Stats != nil {
+		o.Stats.Cells.Add(int64(len(specs)))
+		track = func(i int) []R {
+			recs := compute(i)
+			o.Stats.Executed.Add(1)
+			return recs
+		}
+	}
+	perCell, res, err := runstore.Map(o.Store, o.Jobs, specs, track)
+	if err != nil {
+		// Persistence failures must not fail (or alter) the sweep: results
+		// are complete, only the cache write was lost. Report off the
+		// record stream so output parity between runs is preserved.
+		fmt.Fprintf(os.Stderr, "experiments: run registry: %v\n", err)
+	}
+	if o.Stats != nil {
+		o.Stats.Cached.Add(int64(res.Cached))
+	}
+	return perCell
+}
+
+// flatten concatenates per-cell record slices in cell order.
+func flatten(perCell [][]Record) []Record {
+	var recs []Record
+	for _, rs := range perCell {
+		recs = append(recs, rs...)
+	}
+	return recs
+}
+
+// lazyWorkload defers dataset generation until a cell actually
+// computes: a fully cached sweep reads records without synthesizing a
+// single sample. The model spec itself (architecture, Θ grid, paper
+// metadata) is resolved eagerly because grid enumeration and table
+// headers need it.
+type lazyWorkload struct {
+	spec models.Spec
+	seed uint64
+	once sync.Once
+	w    workload
+}
+
+func newLazyWorkload(model string, seed uint64) *lazyWorkload {
+	spec, err := models.ByName(model)
+	if err != nil {
+		panic(err)
+	}
+	return &lazyWorkload{spec: spec, seed: seed}
+}
+
+// get generates the datasets on first use (goroutine-safe; compute
+// closures race here when the first uncached cells dispatch together).
+func (l *lazyWorkload) get() workload {
+	l.once.Do(func() {
+		train, test := models.DatasetFor(l.spec, l.seed)
+		l.w = workload{spec: l.spec, train: train, test: test}
+	})
+	return l.w
+}

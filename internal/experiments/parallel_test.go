@@ -9,30 +9,35 @@ import (
 	"time"
 
 	"repro/internal/data"
+	"repro/internal/runstore"
 )
 
-func TestParMapCoverageAndOrder(t *testing.T) {
+// TestRunGridCoverageAndOrder pins the dispatch contract sweeps rely
+// on: every cell runs exactly once and results land in grid order, at
+// any jobs setting, with or without a store.
+func TestRunGridCoverageAndOrder(t *testing.T) {
+	specs := make([]runstore.Spec, 37)
+	for i := range specs {
+		specs[i] = Options{Scale: Tiny, Seed: 1}.cellSpec(
+			"gridtest", "lenet5s", "LinearFDA", 0.05, 5, "iid", []float64{0.9}, uint64(i))
+	}
 	for _, jobs := range []int{0, 1, 3, 8, -1} {
-		got := parMap(jobs, 37, func(i int) int { return i * i })
+		var calls atomic.Int64
+		got := runGrid(Options{Jobs: jobs}, specs, func(i int) []int {
+			calls.Add(1)
+			return []int{i * i}
+		})
+		if calls.Load() != int64(len(specs)) {
+			t.Fatalf("jobs=%d: %d calls for %d cells", jobs, calls.Load(), len(specs))
+		}
 		for i, v := range got {
-			if v != i*i {
-				t.Fatalf("jobs=%d: slot %d holds %d", jobs, i, v)
+			if len(v) != 1 || v[0] != i*i {
+				t.Fatalf("jobs=%d: slot %d holds %v", jobs, i, v)
 			}
 		}
 	}
-	if out := parMap(4, 0, func(i int) int { return i }); len(out) != 0 {
-		t.Fatalf("empty input produced %v", out)
-	}
-}
-
-func TestParMapRunsEachOnce(t *testing.T) {
-	var calls atomic.Int64
-	parMap(5, 100, func(i int) struct{} {
-		calls.Add(1)
-		return struct{}{}
-	})
-	if calls.Load() != 100 {
-		t.Fatalf("parMap made %d calls for 100 items", calls.Load())
+	if out := runGrid(Options{Jobs: 4}, nil, func(i int) []int { return nil }); len(out) != 0 {
+		t.Fatalf("empty grid produced %v", out)
 	}
 }
 
@@ -98,6 +103,9 @@ func TestSweepFigureParallelParity(t *testing.T) {
 func TestParallelSweepSpeedup(t *testing.T) {
 	if testing.Short() {
 		t.Skip("timing test")
+	}
+	if raceEnabled {
+		t.Skip("race instrumentation distorts wall-clock ratios")
 	}
 	procs := runtime.GOMAXPROCS(0)
 	if procs < 4 {

@@ -1,0 +1,8 @@
+//go:build race
+
+package experiments
+
+// raceEnabled reports that this test binary was built with -race, whose
+// instrumentation slows cells by an order of magnitude and makes
+// wall-clock assertions meaningless.
+const raceEnabled = true

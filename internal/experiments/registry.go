@@ -1,0 +1,102 @@
+package experiments
+
+import "fmt"
+
+// Runner is one registered experiment: a paper artifact reproducible by
+// name. The registry is the single index `cmd/fdaexp` and `cmd/fdaserve`
+// dispatch through, so adding a runner here surfaces it in both.
+type Runner struct {
+	// Name is the CLI/API identifier (table2, fig3 … fig13).
+	Name string
+	// Artifact describes the paper artifact the runner reproduces.
+	Artifact string
+	// Run executes the experiment. The concrete result type depends on
+	// the artifact — []Record for the cost figures, []Curve for fig7,
+	// []ThetaFit for fig12, *metrics.Table for table2 — and is JSON-
+	// marshalable in every case (fdaserve's records endpoint relies on
+	// this).
+	Run func(Options) any
+}
+
+// paperRunners lists the paper-artifact runners in presentation order;
+// `fdaexp -exp all` runs exactly these.
+var paperRunners = []Runner{
+	{"table2", "Table 2 — workload summary", func(o Options) any { return Table2(o) }},
+	{"fig3", "Figure 3 — KDE cloud, LeNet-5 across heterogeneity scenarios", func(o Options) any { return Figure3(o) }},
+	{"fig4", "Figure 4 — KDE cloud, VGG16* across heterogeneity × targets", func(o Options) any { return Figure4(o) }},
+	{"fig5", "Figure 5 — KDE cloud, DenseNet121, two targets", func(o Options) any { return Figure5(o) }},
+	{"fig6", "Figure 6 — KDE cloud, DenseNet201, two targets", func(o Options) any { return Figure6(o) }},
+	{"fig7", "Figure 7 — accuracy progression and generalization gap", func(o Options) any { return Figure7(o) }},
+	{"fig8", "Figure 8 — cost vs K and vs Θ, LeNet-5", func(o Options) any { return Figure8(o) }},
+	{"fig9", "Figure 9 — cost vs K and vs Θ, VGG16*", func(o Options) any { return Figure9(o) }},
+	{"fig10", "Figure 10 — cost vs K and vs Θ, DenseNet121", func(o Options) any { return Figure10(o) }},
+	{"fig11", "Figure 11 — cost vs K and vs Θ, DenseNet201", func(o Options) any { return Figure11(o) }},
+	{"fig12", "Figure 12 — empirical Θ* ≈ c·d per network profile", func(o Options) any { return Figure12(o) }},
+	{"fig13", "Figure 13 — ConvNeXt transfer-learning fine-tuning", func(o Options) any { return Figure13(o) }},
+}
+
+// auxRunners are addressable by name but reproduce no paper artifact,
+// so "all" skips them.
+var auxRunners = []Runner{
+	{"smoke", "two-cell validation sweep (fast end-to-end probe, no paper artifact)",
+		func(o Options) any { return Smoke(o) }},
+}
+
+// registry is the full dispatch index (paper runners first).
+var registry = append(append([]Runner(nil), paperRunners...), auxRunners...)
+
+// Names returns every registered experiment name, paper artifacts first.
+func Names() []string {
+	names := make([]string, len(registry))
+	for i, r := range registry {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// PaperNames returns only the paper-artifact runner names, in the
+// paper's presentation order.
+func PaperNames() []string {
+	names := make([]string, len(paperRunners))
+	for i, r := range paperRunners {
+		names[i] = r.Name
+	}
+	return names
+}
+
+// Runners returns the registry in presentation order.
+func Runners() []Runner {
+	return append([]Runner(nil), registry...)
+}
+
+// Lookup fetches a runner by name.
+func Lookup(name string) (Runner, bool) {
+	for _, r := range registry {
+		if r.Name == name {
+			return r, true
+		}
+	}
+	return Runner{}, false
+}
+
+// Run executes the named experiment and returns its result records.
+func Run(name string, o Options) (any, error) {
+	r, ok := Lookup(name)
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
+	}
+	return r.Run(o), nil
+}
+
+// ParseScale converts a scale name (tiny, quick, full) to a Scale.
+func ParseScale(s string) (Scale, error) {
+	switch s {
+	case "tiny":
+		return Tiny, nil
+	case "quick":
+		return Quick, nil
+	case "full":
+		return Full, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (want tiny, quick or full)", s)
+}

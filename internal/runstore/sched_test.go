@@ -1,0 +1,167 @@
+package runstore
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// schedRecord is a stand-in experiment record.
+type schedRecord struct {
+	Cell  int     `json:"cell"`
+	Value float64 `json:"value"`
+}
+
+func schedSpecs(n int) []Spec {
+	specs := make([]Spec, n)
+	for i := range specs {
+		specs[i] = sampleSpec(uint64(1000 + i))
+	}
+	return specs
+}
+
+// computeFn returns a deterministic per-cell payload and counts calls.
+func computeFn(calls *atomic.Int64) func(i int) []schedRecord {
+	return func(i int) []schedRecord {
+		calls.Add(1)
+		return []schedRecord{{Cell: i, Value: float64(i) * 0.125}, {Cell: i, Value: float64(i) + 0.5}}
+	}
+}
+
+func TestMapNilStoreComputesAll(t *testing.T) {
+	var calls atomic.Int64
+	specs := schedSpecs(9)
+	perCell, res, err := Map(nil, 4, specs, computeFn(&calls))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if calls.Load() != 9 || res.Executed != 9 || res.Cached != 0 || res.Cells != 9 {
+		t.Fatalf("nil store: calls=%d res=%+v", calls.Load(), res)
+	}
+	for i, recs := range perCell {
+		if len(recs) != 2 || recs[0].Cell != i {
+			t.Fatalf("cell %d holds %+v", i, recs)
+		}
+	}
+}
+
+func TestMapCachesAcrossCalls(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	specs := schedSpecs(7)
+	var cold atomic.Int64
+	first, res1, err := Map(st, 3, specs, computeFn(&cold))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Load() != 7 || res1.Executed != 7 {
+		t.Fatalf("cold run: calls=%d res=%+v", cold.Load(), res1)
+	}
+	var warm atomic.Int64
+	second, res2, err := Map(st, 3, specs, computeFn(&warm))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if warm.Load() != 0 || res2.Executed != 0 || res2.Cached != 7 {
+		t.Fatalf("warm run recomputed: calls=%d res=%+v", warm.Load(), res2)
+	}
+	if !reflect.DeepEqual(first, second) {
+		t.Fatalf("cached results diverged:\n%+v\n%+v", first, second)
+	}
+}
+
+// TestMapResumesAfterKill simulates a sweep killed mid-grid: the first
+// dispatch panics after completing part of the grid, and the retry must
+// execute only the missing cells.
+func TestMapResumesAfterKill(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	specs := schedSpecs(10)
+	const killAfter = 4
+	var done atomic.Int64
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected mid-grid panic")
+			}
+		}()
+		// jobs=1 keeps the dispatch inline so the panic unwinds through
+		// Map exactly like a process kill after 4 persisted cells.
+		Map(st, 1, specs, func(i int) []schedRecord {
+			if done.Load() == killAfter {
+				panic("killed")
+			}
+			done.Add(1)
+			return []schedRecord{{Cell: i}}
+		})
+	}()
+	var retries atomic.Int64
+	perCell, res, err := Map(st, 4, specs, func(i int) []schedRecord {
+		retries.Add(1)
+		return []schedRecord{{Cell: i}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached != killAfter || res.Executed != len(specs)-killAfter {
+		t.Fatalf("resume stats %+v, want %d cached", res, killAfter)
+	}
+	if retries.Load() != int64(len(specs)-killAfter) {
+		t.Fatalf("resume recomputed %d cells, want %d", retries.Load(), len(specs)-killAfter)
+	}
+	for i, recs := range perCell {
+		if len(recs) != 1 || recs[0].Cell != i {
+			t.Fatalf("cell %d holds %+v", i, recs)
+		}
+	}
+}
+
+// TestMapRecomputesCorruptEntries: a damaged entry must not fail the
+// sweep — it is recomputed and healed.
+func TestMapRecomputesCorruptEntries(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	specs := schedSpecs(3)
+	var calls atomic.Int64
+	if _, _, err := Map(st, 2, specs, computeFn(&calls)); err != nil {
+		t.Fatal(err)
+	}
+	flipByte(t, st.runDir(specs[1].Canonical().Hash())+"/records.jsonl")
+	var again atomic.Int64
+	perCell, res, err := Map(st, 2, specs, computeFn(&again))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if again.Load() != 1 || res.Executed != 1 || res.Cached != 2 {
+		t.Fatalf("corrupt entry handling: calls=%d res=%+v", again.Load(), res)
+	}
+	if perCell[1][0].Cell != 1 {
+		t.Fatalf("recomputed cell wrong: %+v", perCell[1])
+	}
+	if !st.Contains(specs[1]) {
+		t.Fatal("corrupt entry not healed")
+	}
+}
+
+// TestMapEmptyCellCached: cells that legitimately produce no records
+// (e.g. an unreached fig12 Θ) are cached as empty, not recomputed.
+func TestMapEmptyCellCached(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	specs := schedSpecs(2)
+	compute := func(i int) []schedRecord {
+		if i == 0 {
+			return nil
+		}
+		return []schedRecord{{Cell: i}}
+	}
+	if _, _, err := Map(st, 1, specs, compute); err != nil {
+		t.Fatal(err)
+	}
+	perCell, res, err := Map(st, 1, specs, func(i int) []schedRecord {
+		t.Fatalf("cell %d recomputed", i)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Cached != 2 || len(perCell[0]) != 0 || len(perCell[1]) != 1 {
+		t.Fatalf("empty-cell caching broken: %+v %+v", res, perCell)
+	}
+}

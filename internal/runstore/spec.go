@@ -1,0 +1,90 @@
+// Package runstore is the run registry: a content-addressed, on-disk
+// store of experiment results keyed by a canonical run specification,
+// plus the store-aware sweep scheduler the experiment runners dispatch
+// through.
+//
+// The registry exists because the execution engine (DESIGN.md §3) makes
+// every run bit-identical in its configuration at any parallelism: a
+// cell's records are a pure function of its parallelism-independent
+// spec, so a result computed once is safe to reuse forever. Cells are
+// therefore keyed by the SHA-256 of their canonical spec encoding and
+// persisted as CRC-checked JSONL (DESIGN.md §6); interrupted or repeated
+// sweeps recompute only the cells the store does not yet hold.
+package runstore
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// SpecVersion gates cache compatibility: it is baked into every spec
+// hash, so bumping it after a semantics change (record fields, seed
+// derivation, workload generation) invalidates all prior entries
+// instead of silently serving stale bytes.
+const SpecVersion = 1
+
+// Spec canonically identifies one sweep cell — a single training run
+// plus its record extraction. It must contain every input the records
+// depend on and nothing else; parallelism knobs (Jobs, Parallelism) are
+// deliberately absent because the engine guarantees they cannot change
+// the bytes. The zero value of omitted fields participates in the
+// canonical encoding via `omitempty`, so extending the struct with new
+// optional fields keeps old hashes stable.
+type Spec struct {
+	// Version is the spec-format version; Canonical fills in SpecVersion
+	// when it is zero.
+	Version int `json:"v"`
+	// Experiment names the runner (fig3 … fig13, table2) so equal grid
+	// cells of different figures never alias.
+	Experiment string `json:"experiment"`
+	// Scale and Seed identify the sweep the cell belongs to.
+	Scale string `json:"scale,omitempty"`
+	Seed  uint64 `json:"seed"`
+	// Model, Strategy, Theta, K, Het and Targets are the grid-cell
+	// coordinates shared by every figure runner.
+	Model    string    `json:"model,omitempty"`
+	Strategy string    `json:"strategy,omitempty"`
+	Theta    float64   `json:"theta,omitempty"`
+	K        int       `json:"k,omitempty"`
+	Het      string    `json:"het,omitempty"`
+	Targets  []float64 `json:"targets,omitempty"`
+	// CellSeed is the cell's derived run seed. It is kept alongside the
+	// sweep Seed because derived seeds from different sweeps can collide.
+	CellSeed uint64 `json:"cell_seed,omitempty"`
+	// Extra carries runner-specific inputs (e.g. fig7's step budget or
+	// fig13's pre-training recipe). Map keys are sorted by the canonical
+	// encoder, so insertion order never affects the hash.
+	Extra map[string]string `json:"extra,omitempty"`
+}
+
+// Canonical returns the spec with defaults applied (currently: Version).
+func (s Spec) Canonical() Spec {
+	if s.Version == 0 {
+		s.Version = SpecVersion
+	}
+	return s
+}
+
+// Encode returns the canonical JSON encoding the hash is computed over.
+// encoding/json emits struct fields in declaration order and map keys
+// sorted, and formats float64 with the shortest round-trip
+// representation, so equal specs encode to equal bytes on every
+// platform.
+func (s Spec) Encode() []byte {
+	b, err := json.Marshal(s.Canonical())
+	if err != nil {
+		// Spec contains only marshalable field types; this is unreachable
+		// short of NaN thresholds, which no runner produces.
+		panic(fmt.Sprintf("runstore: encoding spec: %v", err))
+	}
+	return b
+}
+
+// Hash returns the content address: hex SHA-256 of the canonical
+// encoding.
+func (s Spec) Hash() string {
+	sum := sha256.Sum256(s.Encode())
+	return hex.EncodeToString(sum[:])
+}

@@ -1,0 +1,260 @@
+package runstore
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+)
+
+// ManifestVersion gates the on-disk layout of a run entry.
+const ManifestVersion = 1
+
+var crcTable = crc64.MakeTable(crc64.ECMA)
+
+// ErrCorrupt marks a store entry whose bytes fail verification (CRC or
+// record-count mismatch, unreadable manifest, or a spec that does not
+// re-hash to its address). Readers treat corrupt entries as cache
+// misses; the next Put overwrites them.
+var ErrCorrupt = errors.New("runstore: corrupt entry")
+
+// Manifest describes one stored run. It lives next to the records file
+// and carries everything needed to verify and list the entry without
+// decoding the records themselves.
+type Manifest struct {
+	ManifestVersion int    `json:"manifest_version"`
+	Hash            string `json:"hash"`
+	Spec            Spec   `json:"spec"`
+	// Records is the JSONL line count and Bytes the records-file size;
+	// CRC64 (ECMA, hex) covers the records-file bytes exactly.
+	Records int    `json:"records"`
+	Bytes   int64  `json:"bytes"`
+	CRC64   string `json:"crc64"`
+	// CreatedUnix is informational only (not part of any hash).
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// Store is a content-addressed result store rooted at a directory:
+//
+//	<dir>/runs/<hh>/<hash>/manifest.json   (hh = first hash byte)
+//	<dir>/runs/<hh>/<hash>/records.jsonl
+//
+// Entries appear atomically (staged in <dir>/tmp, renamed into place),
+// so a killed writer never leaves a half-visible run, and concurrent
+// writers of the same spec are idempotent.
+type Store struct {
+	dir string
+}
+
+// Open opens the store rooted at dir, creating the directory tree as
+// needed.
+func Open(dir string) (*Store, error) {
+	for _, d := range []string{dir, filepath.Join(dir, "runs"), filepath.Join(dir, "tmp")} {
+		if err := os.MkdirAll(d, 0o755); err != nil {
+			return nil, fmt.Errorf("runstore: %w", err)
+		}
+	}
+	return &Store{dir: dir}, nil
+}
+
+// Dir returns the store's root directory.
+func (s *Store) Dir() string { return s.dir }
+
+// runDir maps a hash to its entry directory.
+func (s *Store) runDir(hash string) string {
+	return filepath.Join(s.dir, "runs", hash[:2], hash)
+}
+
+// Contains reports whether the store holds a verified entry for spec.
+func (s *Store) Contains(spec Spec) bool {
+	_, ok, _ := s.Get(spec)
+	return ok
+}
+
+// Get loads the records stored for spec. ok is false on a miss; a
+// non-nil error wrapping ErrCorrupt additionally reports an entry that
+// exists but failed verification (also returned as a miss so callers
+// recompute).
+func (s *Store) Get(spec Spec) ([]json.RawMessage, bool, error) {
+	spec = spec.Canonical()
+	hash := spec.Hash()
+	dir := s.runDir(hash)
+	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, false, nil
+		}
+		return nil, false, fmt.Errorf("%w: reading manifest %s: %v", ErrCorrupt, hash, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return nil, false, fmt.Errorf("%w: decoding manifest %s: %v", ErrCorrupt, hash, err)
+	}
+	if m.ManifestVersion != ManifestVersion {
+		return nil, false, fmt.Errorf("%w: manifest %s has version %d, want %d",
+			ErrCorrupt, hash, m.ManifestVersion, ManifestVersion)
+	}
+	// The stored spec must re-encode to the address we derived: this
+	// rejects hand-edited entries and (theoretical) hash collisions.
+	if m.Hash != hash || !bytes.Equal(m.Spec.Encode(), spec.Encode()) {
+		return nil, false, fmt.Errorf("%w: manifest %s does not match its spec", ErrCorrupt, hash)
+	}
+	rb, err := os.ReadFile(filepath.Join(dir, "records.jsonl"))
+	if err != nil {
+		return nil, false, fmt.Errorf("%w: reading records %s: %v", ErrCorrupt, hash, err)
+	}
+	if int64(len(rb)) != m.Bytes || fmt.Sprintf("%016x", crc64.Checksum(rb, crcTable)) != m.CRC64 {
+		return nil, false, fmt.Errorf("%w: records %s fail CRC", ErrCorrupt, hash)
+	}
+	recs := splitLines(rb)
+	if len(recs) != m.Records {
+		return nil, false, fmt.Errorf("%w: records %s hold %d lines, manifest says %d",
+			ErrCorrupt, hash, len(recs), m.Records)
+	}
+	return recs, true, nil
+}
+
+// Put stores records under spec's content address, replacing any
+// existing entry. The entry is staged in the store's tmp area and
+// renamed into place, so concurrent or interrupted writers leave either
+// the old entry or the complete new one.
+func (s *Store) Put(spec Spec, records []json.RawMessage) error {
+	spec = spec.Canonical()
+	hash := spec.Hash()
+
+	var rb bytes.Buffer
+	for _, r := range records {
+		line := bytes.TrimSpace([]byte(r))
+		if bytes.ContainsRune(line, '\n') {
+			// Re-encode to guarantee one line per record.
+			var v any
+			if err := json.Unmarshal(line, &v); err != nil {
+				return fmt.Errorf("runstore: record is not valid JSON: %v", err)
+			}
+			compact, err := json.Marshal(v)
+			if err != nil {
+				return fmt.Errorf("runstore: %v", err)
+			}
+			line = compact
+		}
+		rb.Write(line)
+		rb.WriteByte('\n')
+	}
+	m := Manifest{
+		ManifestVersion: ManifestVersion,
+		Hash:            hash,
+		Spec:            spec,
+		Records:         len(records),
+		Bytes:           int64(rb.Len()),
+		CRC64:           fmt.Sprintf("%016x", crc64.Checksum(rb.Bytes(), crcTable)),
+		CreatedUnix:     time.Now().Unix(),
+	}
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+
+	stage, err := os.MkdirTemp(filepath.Join(s.dir, "tmp"), "put-*")
+	if err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+	defer os.RemoveAll(stage)
+	if err := os.WriteFile(filepath.Join(stage, "records.jsonl"), rb.Bytes(), 0o644); err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+	if err := os.WriteFile(filepath.Join(stage, "manifest.json"), mb, 0o644); err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+
+	dst := s.runDir(hash)
+	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+	// Replace any previous entry out of the readers' way, then move the
+	// staged directory into place. If a concurrent writer won the rename
+	// race, its entry encodes the same spec — determinism makes the two
+	// byte-identical up to the manifest timestamp — so losing is success.
+	old := stage + ".old"
+	if err := os.Rename(dst, old); err == nil {
+		defer os.RemoveAll(old)
+	}
+	if err := os.Rename(stage, dst); err != nil {
+		if _, statErr := os.Stat(filepath.Join(dst, "manifest.json")); statErr == nil {
+			return nil
+		}
+		return fmt.Errorf("runstore: %v", err)
+	}
+	return nil
+}
+
+// Delete removes spec's entry if present.
+func (s *Store) Delete(spec Spec) error {
+	return os.RemoveAll(s.runDir(spec.Canonical().Hash()))
+}
+
+// List returns the manifests of every verified entry, sorted by
+// (experiment, model, strategy, hash) so listings are stable.
+func (s *Store) List() ([]Manifest, error) {
+	var out []Manifest
+	shards, err := os.ReadDir(filepath.Join(s.dir, "runs"))
+	if err != nil {
+		return nil, fmt.Errorf("runstore: %v", err)
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.dir, "runs", shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			mb, err := os.ReadFile(filepath.Join(s.dir, "runs", shard.Name(), e.Name(), "manifest.json"))
+			if err != nil {
+				continue
+			}
+			var m Manifest
+			if err := json.Unmarshal(mb, &m); err != nil {
+				continue
+			}
+			// Only verified entries make the catalog: an entry Get would
+			// reject (bad CRC, spec/hash mismatch, truncation) must not be
+			// advertised as cached.
+			if _, ok, _ := s.Get(m.Spec); !ok {
+				continue
+			}
+			out = append(out, m)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Spec.Experiment != b.Spec.Experiment {
+			return a.Spec.Experiment < b.Spec.Experiment
+		}
+		if a.Spec.Model != b.Spec.Model {
+			return a.Spec.Model < b.Spec.Model
+		}
+		if a.Spec.Strategy != b.Spec.Strategy {
+			return a.Spec.Strategy < b.Spec.Strategy
+		}
+		return a.Hash < b.Hash
+	})
+	return out, nil
+}
+
+// splitLines splits JSONL bytes into one raw message per line.
+func splitLines(b []byte) []json.RawMessage {
+	var out []json.RawMessage
+	for _, line := range bytes.Split(b, []byte{'\n'}) {
+		if len(bytes.TrimSpace(line)) == 0 {
+			continue
+		}
+		out = append(out, json.RawMessage(append([]byte(nil), line...)))
+	}
+	return out
+}

@@ -1,0 +1,244 @@
+package runstore
+
+import (
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+func sampleSpec(cellSeed uint64) Spec {
+	return Spec{
+		Experiment: "figX", Scale: "tiny", Seed: 1,
+		Model: "lenet5s", Strategy: "LinearFDA", Theta: 0.05, K: 5,
+		Het: "iid", Targets: []float64{0.95}, CellSeed: cellSeed,
+	}
+}
+
+func rawLines(ss ...string) []json.RawMessage {
+	var out []json.RawMessage
+	for _, s := range ss {
+		out = append(out, json.RawMessage(s))
+	}
+	return out
+}
+
+func TestSpecHashStableAndSensitive(t *testing.T) {
+	a, b := sampleSpec(7), sampleSpec(7)
+	if a.Hash() != b.Hash() {
+		t.Fatal("equal specs hash differently")
+	}
+	// Canonicalization: a zero Version hashes like an explicit SpecVersion.
+	c := sampleSpec(7)
+	c.Version = SpecVersion
+	if c.Hash() != a.Hash() {
+		t.Fatal("canonicalization changed the hash")
+	}
+	// Every field must be load-bearing.
+	mutants := []func(*Spec){
+		func(s *Spec) { s.Version = SpecVersion + 1 },
+		func(s *Spec) { s.Experiment = "figY" },
+		func(s *Spec) { s.Scale = "full" },
+		func(s *Spec) { s.Seed++ },
+		func(s *Spec) { s.Model = "vgg16s" },
+		func(s *Spec) { s.Strategy = "SketchFDA" },
+		func(s *Spec) { s.Theta += 1e-9 },
+		func(s *Spec) { s.K++ },
+		func(s *Spec) { s.Het = "label0" },
+		func(s *Spec) { s.Targets = []float64{0.95, 0.98} },
+		func(s *Spec) { s.CellSeed++ },
+		func(s *Spec) { s.Extra = map[string]string{"steps": "300"} },
+	}
+	for i, mutate := range mutants {
+		m := sampleSpec(7)
+		mutate(&m)
+		if m.Hash() == a.Hash() {
+			t.Fatalf("mutant %d did not change the hash", i)
+		}
+	}
+	// Extra is order-independent by construction (sorted keys).
+	x := sampleSpec(7)
+	x.Extra = map[string]string{"a": "1", "b": "2"}
+	y := sampleSpec(7)
+	y.Extra = map[string]string{"b": "2", "a": "1"}
+	if x.Hash() != y.Hash() {
+		t.Fatal("Extra key order changed the hash")
+	}
+}
+
+func TestStorePutGetRoundTrip(t *testing.T) {
+	st, err := Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := sampleSpec(1)
+	if st.Contains(spec) {
+		t.Fatal("empty store claims to contain spec")
+	}
+	want := rawLines(`{"steps":10,"acc":0.5}`, `{"steps":20,"acc":0.9}`)
+	if err := st.Put(spec, want); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(spec)
+	if err != nil || !ok {
+		t.Fatalf("get: ok=%v err=%v", ok, err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("round trip: got %s want %s", got, want)
+	}
+	if !st.Contains(spec) {
+		t.Fatal("Contains false after Put")
+	}
+	// Distinct cell → distinct entry.
+	if st.Contains(sampleSpec(2)) {
+		t.Fatal("different cell seed hit the same entry")
+	}
+}
+
+func TestStoreEmptyRecords(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	spec := sampleSpec(3)
+	if err := st.Put(spec, nil); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := st.Get(spec)
+	if !ok || err != nil || len(got) != 0 {
+		t.Fatalf("empty entry: got %v ok=%v err=%v", got, ok, err)
+	}
+}
+
+func TestStoreOverwrite(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	spec := sampleSpec(4)
+	if err := st.Put(spec, rawLines(`{"v":1}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := st.Put(spec, rawLines(`{"v":2}`)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := st.Get(spec)
+	if !ok || len(got) != 1 || string(got[0]) != `{"v":2}` {
+		t.Fatalf("overwrite not visible: %s", got)
+	}
+	// The tmp staging area must not accumulate debris.
+	entries, err := os.ReadDir(filepath.Join(st.Dir(), "tmp"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 0 {
+		t.Fatalf("stray staging dirs: %v", entries)
+	}
+}
+
+// corrupt each stored artifact in turn and check Get degrades to a miss
+// that reports ErrCorrupt (so schedulers recompute instead of failing).
+func TestStoreCorruptionIsAMiss(t *testing.T) {
+	cases := []struct {
+		name    string
+		corrupt func(t *testing.T, runDir string)
+	}{
+		{"records-bitflip", func(t *testing.T, dir string) {
+			flipByte(t, filepath.Join(dir, "records.jsonl"))
+		}},
+		{"records-truncated", func(t *testing.T, dir string) {
+			path := filepath.Join(dir, "records.jsonl")
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, b[:len(b)/2], 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"manifest-garbage", func(t *testing.T, dir string) {
+			if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("not json"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+		{"manifest-wrong-spec", func(t *testing.T, dir string) {
+			other := sampleSpec(99).Canonical()
+			m := Manifest{ManifestVersion: ManifestVersion, Hash: other.Hash(), Spec: other}
+			b, _ := json.Marshal(m)
+			if err := os.WriteFile(filepath.Join(dir, "manifest.json"), b, 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			st, _ := Open(t.TempDir())
+			spec := sampleSpec(5)
+			if err := st.Put(spec, rawLines(`{"v":1}`, `{"v":2}`)); err != nil {
+				t.Fatal(err)
+			}
+			tc.corrupt(t, filepath.Join(st.Dir(), "runs", spec.Canonical().Hash()[:2], spec.Canonical().Hash()))
+			recs, ok, err := st.Get(spec)
+			if ok || recs != nil {
+				t.Fatalf("corrupt entry served: %s", recs)
+			}
+			if !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("want ErrCorrupt, got %v", err)
+			}
+			// The catalog must not advertise the damaged entry either.
+			if ms, _ := st.List(); len(ms) != 0 {
+				t.Fatalf("corrupt entry advertised by List: %+v", ms)
+			}
+			// Self-healing: a fresh Put replaces the damaged entry.
+			if err := st.Put(spec, rawLines(`{"v":3}`)); err != nil {
+				t.Fatal(err)
+			}
+			if got, ok, err := st.Get(spec); !ok || err != nil || string(got[0]) != `{"v":3}` {
+				t.Fatalf("store did not heal: %s ok=%v err=%v", got, ok, err)
+			}
+		})
+	}
+}
+
+func flipByte(t *testing.T, path string) {
+	t.Helper()
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b[len(b)/2] ^= 0x01
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStoreDeleteAndList(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	specs := []Spec{sampleSpec(1), sampleSpec(2), sampleSpec(3)}
+	for i, spec := range specs {
+		if err := st.Put(spec, rawLines(`{"i":`+string(rune('0'+i))+`}`)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	ms, err := st.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ms) != 3 {
+		t.Fatalf("listed %d entries, want 3", len(ms))
+	}
+	for _, m := range ms {
+		if m.Records != 1 || m.Spec.Experiment != "figX" {
+			t.Fatalf("bad manifest %+v", m)
+		}
+	}
+	if err := st.Delete(specs[1]); err != nil {
+		t.Fatal(err)
+	}
+	if st.Contains(specs[1]) {
+		t.Fatal("deleted entry still present")
+	}
+	if ms, _ = st.List(); len(ms) != 2 {
+		t.Fatalf("listed %d entries after delete, want 2", len(ms))
+	}
+	// Deleting a missing entry is a no-op.
+	if err := st.Delete(specs[1]); err != nil {
+		t.Fatal(err)
+	}
+}
