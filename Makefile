@@ -1,10 +1,17 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race bench
+.PHONY: check build fmt vet test race allocs bench
 
 # check is the CI gate: formatting, static analysis, the full test suite
-# under the race detector, and a one-iteration benchmark smoke.
-check: fmt vet race bench
+# under the race detector, the zero-allocation regressions (which must
+# run without -race, where they self-skip), and a benchmark smoke.
+check: fmt vet race allocs bench
+
+# The AllocsPerRun assertions guard the steady-state zero-allocation
+# contract (DESIGN.md §7); race instrumentation allocates, so they skip
+# themselves under -race and need this separate uninstrumented run.
+allocs:
+	$(GO) test ./internal/core/ -run ZeroAllocs -v | grep -v '^=== RUN'
 
 build:
 	$(GO) build ./...
@@ -26,11 +33,19 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # bench runs the suite once and records a machine-readable report in
-# BENCH_PR2.json (op, ns/op, bytes, custom metrics) so the perf
-# trajectory is tracked across PRs. The raw text still prints.
+# BENCH_PR3.json (op, ns/op, bytes, custom metrics) so the perf
+# trajectory is tracked across PRs (BENCH_PR2.json holds the pre-fused-
+# kernel baseline). The raw text still prints.
+# Figure/sweep benches run once (each iteration is a whole experiment);
+# the step- and kernel-level benches run 100 iterations so the recorded
+# hot-path numbers are steady-state rather than cold-start noise.
 bench:
-	@$(GO) test -run '^$$' -bench . -benchtime 1x -benchmem -timeout 0 . > bench.raw.txt \
+	@$(GO) test -run '^$$' -bench '^Benchmark(Table2|Figure|Ablation|Sweep|RunWorkers)' \
+		-benchtime 1x -benchmem -timeout 0 . > bench.raw.txt \
 		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
-	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR2.json
+	@$(GO) test -run '^$$' -bench '^Benchmark(LocalStep|Kernel)' \
+		-benchtime 100x -benchmem -timeout 0 . >> bench.raw.txt \
+		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
+	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR3.json
 	@rm -f bench.raw.txt
-	@echo "wrote BENCH_PR2.json"
+	@echo "wrote BENCH_PR3.json"

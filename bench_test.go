@@ -15,6 +15,7 @@ import (
 	"repro/fda"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/tensor"
 )
 
 // benchOpts returns Tiny-scale options; seed fixed for comparability.
@@ -260,10 +261,11 @@ func benchRunParallelism(b *testing.B, par int) {
 func BenchmarkRunWorkersSequential(b *testing.B) { benchRunParallelism(b, 1) }
 func BenchmarkRunWorkersParallel(b *testing.B)   { benchRunParallelism(b, fda.AutoParallelism) }
 
-// BenchmarkLocalStep isolates the per-step training cost of one worker on
-// the smallest zoo model (the simulation's compute unit).
-func BenchmarkLocalStep(b *testing.B) {
-	spec, err := fda.ModelByName("lenet5s")
+// benchStep times one worker's mini-batch step on a zoo model (the
+// simulation's compute unit). Allocations reported here guard the
+// zero-allocation contract of the fused kernel layer.
+func benchStep(b *testing.B, model string) {
+	spec, err := fda.ModelByName(model)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -275,6 +277,77 @@ func BenchmarkLocalStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		net.LossGradBatch(sampler.batch(32))
 		o.Step(net.Params(), net.Grads())
+	}
+}
+
+// BenchmarkLocalStep isolates the per-step training cost of one worker on
+// the smallest zoo model — the headline number of the PR 3 fused-kernel
+// overhaul (tracked in BENCH_PR3.json against the PR 2 baseline).
+func BenchmarkLocalStep(b *testing.B) { benchStep(b, "lenet5s") }
+
+// BenchmarkLocalStepDenseNet covers the largest conv stack (three conv
+// stages, dropout, SGD-NM), whose kernel mix differs from LeNet's.
+func BenchmarkLocalStepDenseNet(b *testing.B) { benchStep(b, "densenet121s") }
+
+// --- Kernel benches (the fused layer of internal/tensor) ---
+
+// benchSink defeats dead-code elimination of pure kernels.
+var benchSink float64
+
+func benchVecs(n int, count int) [][]float64 {
+	rng := fda.NewRNG(uint64(n))
+	out := make([][]float64, count)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := range out[i] {
+			out[i][j] = rng.Float64() - 0.5
+		}
+	}
+	return out
+}
+
+func BenchmarkKernelDot(b *testing.B) {
+	v := benchVecs(4096, 2)
+	b.SetBytes(2 * 8 * 4096)
+	for i := 0; i < b.N; i++ {
+		benchSink += tensor.Dot(v[0], v[1])
+	}
+}
+
+func BenchmarkKernelAXPY(b *testing.B) {
+	v := benchVecs(4096, 2)
+	b.SetBytes(3 * 8 * 4096)
+	for i := 0; i < b.N; i++ {
+		tensor.AXPY(1e-9, v[0], v[1])
+	}
+}
+
+func BenchmarkKernelAXPY4x2(b *testing.B) {
+	v := benchVecs(4096, 6)
+	b.SetBytes(8 * 8 * 4096)
+	for i := 0; i < b.N; i++ {
+		tensor.AXPY4x2(1e-9, 2e-9, 3e-9, 4e-9, 5e-9, 6e-9, 7e-9, 8e-9,
+			v[0], v[1], v[2], v[3], v[4], v[5])
+	}
+}
+
+func BenchmarkKernelSubThenSquaredNorm(b *testing.B) {
+	v := benchVecs(4096, 3)
+	b.SetBytes(3 * 8 * 4096)
+	for i := 0; i < b.N; i++ {
+		benchSink += tensor.SubThenSquaredNorm(v[0], v[1], v[2])
+	}
+}
+
+func BenchmarkKernelMatMulBlocked(b *testing.B) {
+	const n = 96
+	m := benchVecs(n*n, 3)
+	am := tensor.MatFrom(n, n, m[0])
+	bm := tensor.MatFrom(n, n, m[1])
+	dst := tensor.MatFrom(n, n, m[2])
+	b.SetBytes(3 * 8 * n * n)
+	for i := 0; i < b.N; i++ {
+		tensor.MatMul(dst, am, bm)
 	}
 }
 

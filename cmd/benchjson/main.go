@@ -1,10 +1,10 @@
 // Command benchjson converts `go test -bench` text output into a
 // machine-readable JSON benchmark report, so the perf trajectory of the
 // repository can be tracked across PRs (`make bench` writes
-// BENCH_PR2.json with it). The input text passes through to stdout
+// BENCH_PR3.json with it). The input text passes through to stdout
 // unchanged, so it composes with a pipe without hiding the report.
 //
-//	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson -out BENCH_PR2.json
+//	go test -run '^$' -bench . -benchtime 1x -benchmem . | benchjson -out BENCH_PR3.json
 package main
 
 import (

@@ -132,6 +132,13 @@ type Cluster struct {
 	// AllReduce; the sequential reference is the default (it is faster at
 	// simulation scale on a single core and bit-identical in accounting).
 	Concurrent bool
+
+	// scratch is the sequential AllReduce's mean buffer, reused across
+	// calls so model synchronizations don't allocate. Collectives on one
+	// Cluster are inherently serialized (they model a blocking collective
+	// and are only ever issued from the run's reduction goroutine), so a
+	// single buffer suffices.
+	scratch []float64
 }
 
 // NewCluster returns a cluster of k workers with the default cost model.
@@ -160,7 +167,10 @@ func (c *Cluster) AllReduce(kind string, vecs [][]float64) {
 	if c.Concurrent {
 		ringAllReduce(vecs)
 	} else {
-		mean := make([]float64, n)
+		if cap(c.scratch) < n {
+			c.scratch = make([]float64, n)
+		}
+		mean := c.scratch[:n]
 		tensor.Mean(mean, vecs...)
 		for _, v := range vecs {
 			copy(v, mean)

@@ -1,0 +1,74 @@
+package comm
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/tensor"
+)
+
+// ringCase builds K deterministic n-length vectors, runs them through the
+// concurrent ring cluster and the sequential reference cluster, and
+// asserts the averages agree within FP-reordering tolerance and the
+// metered bytes agree exactly.
+func ringCase(t *testing.T, k, n int) {
+	t.Helper()
+	makeVecs := func() [][]float64 {
+		rng := tensor.NewRNG(uint64(1000*k + n))
+		vecs := make([][]float64, k)
+		for i := range vecs {
+			vecs[i] = make([]float64, n)
+			tensor.Normal(rng, vecs[i], 0, 1)
+		}
+		return vecs
+	}
+
+	seq := NewCluster(k)
+	seqVecs := makeVecs()
+	seq.AllReduce("model", seqVecs)
+
+	ring := NewCluster(k)
+	ring.Concurrent = true
+	ringVecs := makeVecs()
+	ring.AllReduce("model", ringVecs)
+
+	for w := 0; w < k; w++ {
+		for i := 0; i < n; i++ {
+			got, want := ringVecs[w][i], seqVecs[0][i]
+			if math.Abs(got-want) > 1e-12*(1+math.Abs(want)) {
+				t.Fatalf("K=%d n=%d: worker %d element %d: ring %v, sequential %v",
+					k, n, w, i, got, want)
+			}
+		}
+		// All ring workers must hold the same vector bit for bit.
+		for i := range ringVecs[w] {
+			if ringVecs[w][i] != ringVecs[0][i] {
+				t.Fatalf("K=%d n=%d: worker %d diverges from worker 0 at %d", k, n, w, i)
+			}
+		}
+	}
+	if got, want := ring.Meter.TotalBytes(), seq.Meter.TotalBytes(); got != want {
+		t.Fatalf("K=%d n=%d: ring metered %d bytes, sequential %d", k, n, got, want)
+	}
+}
+
+// TestRingAllReduceShorterThanCluster covers n < K, where some ring
+// chunks are empty.
+func TestRingAllReduceShorterThanCluster(t *testing.T) {
+	ringCase(t, 5, 3)
+	ringCase(t, 7, 1)
+}
+
+// TestRingAllReduceTwoWorkers covers the smallest nontrivial ring (K=2),
+// where reduce-scatter and all-gather are each a single exchange.
+func TestRingAllReduceTwoWorkers(t *testing.T) {
+	ringCase(t, 2, 8)
+	ringCase(t, 2, 9) // odd length: unequal chunks
+}
+
+// TestRingAllReduceUnevenChunks covers n not divisible by K.
+func TestRingAllReduceUnevenChunks(t *testing.T) {
+	ringCase(t, 4, 10)
+	ringCase(t, 3, 100)
+	ringCase(t, 6, 32)
+}

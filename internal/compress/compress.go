@@ -125,10 +125,11 @@ func (c Quantize) Roundtrip(dst, v []float64) int {
 	return (len(v)*c.Bits+7)/8 + 8
 }
 
-// Chain composes codecs left to right (for example top-k then quantize),
-// summing wire costs of the final stage only on the surviving data is
-// subtle; the conservative model here charges the sum of stage outputs'
-// sizes, documenting an upper bound.
+// Chain composes codecs left to right (for example top-k then quantize).
+// Charging only the final stage's wire size on the surviving data is
+// subtle to get right for every pairing, so the conservative model here
+// charges the sum of all stage outputs' sizes, documenting an upper
+// bound; a Chain is therefore never billed below any of its stages.
 type Chain struct {
 	Stages []Codec
 }
@@ -145,7 +146,11 @@ func (c Chain) Name() string {
 	return s
 }
 
-// Roundtrip implements Codec.
+// Roundtrip implements Codec. The wire cost accumulates across stages —
+// the conservative sum the type comment specifies; an earlier version
+// charged only the final stage, silently under-billing every chained
+// codec. An empty Chain transmits the vector dense at 4 bytes/param,
+// consistent with CostModel.BytesPerParam's float32 wire format.
 func (c Chain) Roundtrip(dst, v []float64) int {
 	if len(c.Stages) == 0 {
 		copy(dst, v)
@@ -155,7 +160,7 @@ func (c Chain) Roundtrip(dst, v []float64) int {
 	copy(cur, v)
 	bytes := 0
 	for _, st := range c.Stages {
-		bytes = st.Roundtrip(cur, cur)
+		bytes += st.Roundtrip(cur, cur)
 	}
 	copy(dst, cur)
 	return bytes

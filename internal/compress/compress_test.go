@@ -189,3 +189,41 @@ func TestTopKPreservesMaxProperty(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// Regression: Chain.Roundtrip must charge the conservative sum of stage
+// outputs, as its doc comment specifies. A previous version kept only the
+// final stage's bytes, silently under-billing chained codecs in every
+// figure that sweeps them — a chain can never cost less than any single
+// stage run alone.
+func TestChainChargesSumOfStages(t *testing.T) {
+	topk := TopK{Fraction: 0.1}
+	quant := Quantize{Bits: 8}
+	chain := Chain{Stages: []Codec{topk, quant}}
+
+	v := make([]float64, 1000)
+	tensor.Normal(tensor.NewRNG(9), v, 0, 1)
+	dst := make([]float64, len(v))
+
+	chainBytes := chain.Roundtrip(dst, v)
+	topkBytes := topk.Roundtrip(dst, v)
+	quantBytes := quant.Roundtrip(dst, v)
+
+	if chainBytes < topkBytes {
+		t.Fatalf("chain wire %d < top-k stage alone %d", chainBytes, topkBytes)
+	}
+	if chainBytes < quantBytes {
+		t.Fatalf("chain wire %d < quantize stage alone %d", chainBytes, quantBytes)
+	}
+	if want := topkBytes + quantBytes; chainBytes != want {
+		t.Fatalf("chain wire %d, want conservative sum %d", chainBytes, want)
+	}
+}
+
+// The empty chain's dense fallback charges 4 bytes/param, matching the
+// float32 wire format of comm.CostModel.BytesPerParam's default.
+func TestChainEmptyChargesFourBytesPerParam(t *testing.T) {
+	v := make([]float64, 123)
+	if got := (Chain{}).Roundtrip(make([]float64, len(v)), v); got != 4*len(v) {
+		t.Fatalf("empty chain wire = %d, want %d", got, 4*len(v))
+	}
+}

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"container/heap"
 	"fmt"
 
 	"repro/internal/sketch"
@@ -48,18 +47,64 @@ type stepEvent struct {
 	worker int
 }
 
+// eventQueue is a value-typed binary min-heap of step events. It replaces
+// container/heap so the per-event push/pop cycle boxes no interfaces and
+// allocates nothing once the backing array has reached cluster size.
 type eventQueue []stepEvent
 
-func (q eventQueue) Len() int            { return len(q) }
-func (q eventQueue) Less(i, j int) bool  { return q[i].at < q[j].at }
-func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
-func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(stepEvent)) }
-func (q *eventQueue) Pop() interface{} {
-	old := *q
-	n := len(old)
-	ev := old[n-1]
-	*q = old[:n-1]
-	return ev
+func (q eventQueue) Len() int { return len(q) }
+
+// Less orders events by virtual time, breaking ties by worker id so the
+// scheduling order of simultaneous completions (equal speeds are the
+// common case) is specified rather than an artifact of heap internals.
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].worker < q[j].worker
+}
+
+func (q eventQueue) Swap(i, j int) { q[i], q[j] = q[j], q[i] }
+
+// push inserts ev, sifting it up to its heap position.
+func (q *eventQueue) push(ev stepEvent) {
+	*q = append(*q, ev)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.Less(i, parent) {
+			break
+		}
+		h.Swap(i, parent)
+		i = parent
+	}
+}
+
+// pop removes and returns the earliest event.
+func (q *eventQueue) pop() stepEvent {
+	h := *q
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && h.Less(l, smallest) {
+			smallest = l
+		}
+		if r < n && h.Less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			return top
+		}
+		h.Swap(i, smallest)
+		i = smallest
+	}
 }
 
 // RunAsync executes asynchronous FDA. Each worker trains at its own speed;
@@ -138,12 +183,17 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 			dst[1] = tensor.Dot(xi, u)
 		}
 	}
+	meanState := make([]float64, stateDim)
+	var m2Scratch []float64
+	if ac.UseSketch {
+		m2Scratch = make([]float64, sk.L())
+	}
 	estimate := func() float64 {
-		mean := make([]float64, stateDim)
+		mean := meanState
 		tensor.Mean(mean, latest...)
 		if ac.UseSketch {
 			copy(skBuf.Data, mean[1:])
-			return mean[0] - sketch.M2(skBuf)/(1+epsilon)
+			return mean[0] - sketch.M2Into(skBuf, m2Scratch)/(1+epsilon)
 		}
 		return mean[0] - mean[1]*mean[1]
 	}
@@ -161,9 +211,9 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 		res.Strategy = "AsyncSketchFDA"
 	}
 
-	var q eventQueue
+	q := make(eventQueue, 0, cfg.K)
 	for k := 0; k < cfg.K; k++ {
-		heap.Push(&q, stepEvent{at: 1 / speeds[k], worker: k})
+		q.push(stepEvent{at: 1 / speeds[k], worker: k})
 	}
 
 	totalSteps := 0
@@ -172,7 +222,7 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 	trainLen := float64(cfg.Train.Len())
 
 	for totalSteps < maxTotal {
-		ev := heap.Pop(&q).(stepEvent)
+		ev := q.pop()
 		if ac.MaxVirtualTime > 0 && ev.at > ac.MaxVirtualTime {
 			break
 		}
@@ -227,7 +277,7 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 			}
 		}
 
-		heap.Push(&q, stepEvent{at: ev.at + 1/speeds[ev.worker], worker: ev.worker})
+		q.push(stepEvent{at: ev.at + 1/speeds[ev.worker], worker: ev.worker})
 	}
 
 	res.Steps = maxInts(res.StepsPerWorker)

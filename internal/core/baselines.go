@@ -75,6 +75,9 @@ type FedOpt struct {
 	roundSteps int // steps per round, derived from shard sizes
 	global     []float64
 	pseudoGrad []float64
+	mean       []float64
+	views      [][]float64
+	broadcast  func(i int, w *Worker)
 }
 
 // NewFedAvg returns plain federated averaging with E local epochs.
@@ -113,6 +116,15 @@ func (f *FedOpt) Init(env *Env) {
 	}
 	f.global = tensor.Clone(env.W0)
 	f.pseudoGrad = make([]float64, env.D)
+	f.mean = make([]float64, env.D)
+	f.views = make([][]float64, len(env.Workers))
+	for i, w := range env.Workers {
+		f.views[i] = w.Net.Params()
+	}
+	f.broadcast = func(_ int, w *Worker) {
+		w.Net.SetParams(f.global)
+		w.Opt.Reset() // local optimizer state restarts each round
+	}
 	f.ServerOpt.Reset()
 }
 
@@ -171,23 +183,14 @@ func (f *FedOpt) AfterLocalStep(env *Env, t int) {
 	}
 	// Round boundary: aggregate local models (one metered model AllReduce),
 	// then apply the server update on the global model and broadcast.
-	mean := make([]float64, env.D)
-	views := make([][]float64, len(env.Workers))
-	for i, w := range env.Workers {
-		views[i] = w.Net.Params()
-	}
-	env.Cluster.AllReduceMean("model", mean, views)
+	env.Cluster.AllReduceMean("model", f.mean, f.views)
 
 	// Pseudo-gradient Δ = w_global − w̄; server step moves the global
 	// model along −Δ scaled by its optimizer.
-	tensor.Sub(f.pseudoGrad, f.global, mean)
+	tensor.Sub(f.pseudoGrad, f.global, f.mean)
 	f.ServerOpt.Step(f.global, f.pseudoGrad)
 
-	env.ForEachWorker(func(_ int, w *Worker) {
-		w.Net.SetParams(f.global)
-		w.Opt.Reset() // local optimizer state restarts each round
-	})
-	env.WPrev = env.W0
-	env.W0 = tensor.Clone(f.global)
+	env.ForEachWorker(f.broadcast)
+	env.advanceW0(f.global)
 	env.SyncCount++
 }

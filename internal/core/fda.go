@@ -47,6 +47,11 @@ type SketchFDA struct {
 	workerSk []*sketch.Sketch
 	meanSt   []float64
 	meanSk   *sketch.Sketch
+	// body is the per-worker state computation, bound once at Init so the
+	// per-step dispatch closes over no per-call state and allocates
+	// nothing; m2Scratch backs the estimator's median-of-rows buffer.
+	body      func(i int, w *Worker)
+	m2Scratch []float64
 }
 
 // NewSketchFDA returns the sketch-based FDA strategy with threshold theta
@@ -104,6 +109,12 @@ func (s *SketchFDA) Init(env *Env) {
 	}
 	s.meanSt = make([]float64, stateDim)
 	s.meanSk = s.sk.NewSketch()
+	s.m2Scratch = make([]float64, s.L)
+	s.body = func(i int, w *Worker) {
+		u, sq := w.DriftSquaredNorm(env.W0)
+		s.states[i][0] = sq
+		s.sk.SketchVec(s.workerSk[i], u)
+	}
 }
 
 // AfterLocalStep implements Strategy.
@@ -111,11 +122,7 @@ func (s *SketchFDA) AfterLocalStep(env *Env, _ int) {
 	// Per-worker drift and sketch computations are independent (the
 	// Sketcher is immutable after Precompute) and run on the pool; the
 	// state AllReduce below reduces in worker order on this goroutine.
-	env.ForEachWorker(func(i int, w *Worker) {
-		u := w.Drift(env.W0)
-		s.states[i][0] = tensor.SquaredNorm(u)
-		s.sk.SketchVec(s.workerSk[i], u)
-	})
+	env.ForEachWorker(s.body)
 	env.Cluster.AllReduceMean("state", s.meanSt, s.states)
 	if s.estimate() > s.Theta {
 		env.SyncModels()
@@ -126,7 +133,7 @@ func (s *SketchFDA) AfterLocalStep(env *Env, _ int) {
 func (s *SketchFDA) estimate() float64 {
 	meanSq := s.meanSt[0]
 	copy(s.meanSk.Data, s.meanSt[1:])
-	return meanSq - sketch.M2(s.meanSk)/(1+s.Epsilon)
+	return meanSq - sketch.M2Into(s.meanSk, s.m2Scratch)/(1+s.Epsilon)
 }
 
 // LinearFDA is the two-scalar variant (paper §3.2, Theorem 3.2): the local
@@ -151,6 +158,7 @@ type LinearFDA struct {
 	xi     []float64
 	states [][]float64
 	meanSt []float64
+	body   func(i int, w *Worker)
 }
 
 // NewLinearFDA returns the linear FDA strategy with threshold theta and
@@ -175,15 +183,16 @@ func (l *LinearFDA) Init(env *Env) {
 		l.states[i] = make([]float64, 2)
 	}
 	l.meanSt = make([]float64, 2)
+	l.body = func(i int, w *Worker) {
+		u, sq := w.DriftSquaredNorm(env.W0)
+		l.states[i][0] = sq
+		l.states[i][1] = tensor.Dot(l.xi, u)
+	}
 }
 
 // AfterLocalStep implements Strategy.
 func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
-	env.ForEachWorker(func(i int, w *Worker) {
-		u := w.Drift(env.W0)
-		l.states[i][0] = tensor.SquaredNorm(u)
-		l.states[i][1] = tensor.Dot(l.xi, u)
-	})
+	env.ForEachWorker(l.body)
 	env.Cluster.AllReduceMean("state", l.meanSt, l.states)
 	h := l.meanSt[0] - l.meanSt[1]*l.meanSt[1]
 	if h > l.Theta {
@@ -206,28 +215,38 @@ func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
 // overestimation costs in extra synchronizations.
 type OracleFDA struct {
 	fdaBase
+
+	states [][]float64
+	meanSt []float64
+	body   func(i int, w *Worker)
 }
 
 // NewOracleFDA returns the exact-variance oracle with threshold theta.
 func NewOracleFDA(theta float64) *OracleFDA {
-	return &OracleFDA{fdaBase{Theta: theta}}
+	return &OracleFDA{fdaBase: fdaBase{Theta: theta}}
 }
 
 // Name implements Strategy.
 func (o *OracleFDA) Name() string { return "OracleFDA" }
 
 // Init implements Strategy.
-func (o *OracleFDA) Init(_ *Env) {}
+func (o *OracleFDA) Init(env *Env) {
+	o.states = make([][]float64, len(env.Workers))
+	for i := range o.states {
+		o.states[i] = make([]float64, 2)
+	}
+	o.meanSt = make([]float64, 2)
+	o.body = func(i int, w *Worker) {
+		_, sq := w.DriftSquaredNorm(env.W0)
+		o.states[i][0] = sq
+	}
+}
 
 // AfterLocalStep implements Strategy.
 func (o *OracleFDA) AfterLocalStep(env *Env, _ int) {
 	// Charge the same state traffic a two-scalar variant would use.
-	scalars := make([][]float64, len(env.Workers))
-	env.ForEachWorker(func(i int, w *Worker) {
-		scalars[i] = []float64{tensor.SquaredNorm(w.Drift(env.W0)), 0}
-	})
-	mean := make([]float64, 2)
-	env.Cluster.AllReduceMean("state", mean, scalars)
+	env.ForEachWorker(o.body)
+	env.Cluster.AllReduceMean("state", o.meanSt, o.states)
 	if env.ExactVarianceViaDrift() > o.Theta {
 		env.SyncModels()
 	}

@@ -3,8 +3,6 @@ package core
 import (
 	"fmt"
 	"math"
-
-	"repro/internal/tensor"
 )
 
 // This file implements the fixed-schedule communication strategies the
@@ -134,6 +132,9 @@ type LAG struct {
 	Threshold float64
 
 	lastNorm float64
+	states   [][]float64
+	meanSt   []float64
+	body     func(i int, w *Worker)
 }
 
 // NewLAG returns the lazily-aggregated baseline.
@@ -151,8 +152,17 @@ func NewLAG(tau int, threshold float64) *LAG {
 func (l *LAG) Name() string { return fmt.Sprintf("LAG(τ=%d)", l.Tau) }
 
 // Init implements Strategy.
-func (l *LAG) Init(_ *Env) {
+func (l *LAG) Init(env *Env) {
 	l.lastNorm = 0 // forces a synchronization at the first round
+	l.states = make([][]float64, len(env.Workers))
+	for i := range l.states {
+		l.states[i] = make([]float64, 1)
+	}
+	l.meanSt = make([]float64, 1)
+	l.body = func(i int, w *Worker) {
+		_, sq := w.DriftSquaredNorm(env.W0)
+		l.states[i][0] = sq
+	}
 }
 
 // AfterLocalStep implements Strategy.
@@ -162,18 +172,14 @@ func (l *LAG) AfterLocalStep(env *Env, t int) {
 	}
 	// Cheap trigger: mean squared drift (scalars, like an FDA state
 	// AllReduce but without the deflation term).
-	scalars := make([][]float64, len(env.Workers))
-	env.ForEachWorker(func(i int, w *Worker) {
-		scalars[i] = []float64{tensor.SquaredNorm(w.Drift(env.W0))}
-	})
-	mean := make([]float64, 1)
-	env.Cluster.AllReduceMean("state", mean, scalars)
+	env.ForEachWorker(l.body)
+	env.Cluster.AllReduceMean("state", l.meanSt, l.states)
 
 	// Lazily skip the round while the aggregate drift magnitude is close
 	// to what it was at the last performed round.
-	if math.Abs(mean[0]-l.lastNorm) < l.Threshold*l.lastNorm {
+	if math.Abs(l.meanSt[0]-l.lastNorm) < l.Threshold*l.lastNorm {
 		return // models stay local; drift keeps accumulating
 	}
-	l.lastNorm = mean[0]
+	l.lastNorm = l.meanSt[0]
 	env.SyncModels()
 }

@@ -81,8 +81,12 @@ func Run(cfg Config, s Strategy) (Result, error) {
 		return p
 	}
 
+	// Hoisted per-step body: one closure for the whole run, so the
+	// steady-state loop allocates nothing.
+	stepBody := func(_ int, w *Worker) { w.LocalStep(cfg.BatchSize) }
+
 	for t := 1; t <= cfg.MaxSteps; t++ {
-		env.ForEachWorker(func(_ int, w *Worker) { w.LocalStep(cfg.BatchSize) })
+		env.ForEachWorker(stepBody)
 		s.AfterLocalStep(env, t)
 		res.Steps = t
 

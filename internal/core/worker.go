@@ -11,6 +11,11 @@ import (
 
 // Worker is one simulated training node: a model replica, a local
 // optimizer with private state, and a shard of the training data.
+//
+// Each worker owns a private scratch arena (drift vector, mini-batch
+// view) sized once at construction; every per-step computation happens
+// inside it, so the steady-state training step performs zero heap
+// allocations and workers can run concurrently without sharing scratch.
 type Worker struct {
 	ID      int
 	Net     *nn.Network
@@ -18,13 +23,15 @@ type Worker struct {
 	Shard   *data.Dataset
 	sampler *data.Sampler
 
-	drift []float64 // scratch: u^(k) = w^(k) − w_t0
+	drift []float64  // scratch: u^(k) = w^(k) − w_t0
+	batch data.Batch // scratch: reused mini-batch view
 }
 
 // LocalStep performs one mini-batch Optimize step and returns the batch
 // loss.
 func (w *Worker) LocalStep(batchSize int) float64 {
-	loss := w.Net.LossGradBatch(w.sampler.Sample(batchSize))
+	w.sampler.SampleInto(&w.batch, batchSize)
+	loss := w.Net.LossGradBatch(w.batch)
 	w.Opt.Step(w.Net.Params(), w.Net.Grads())
 	return loss
 }
@@ -34,6 +41,15 @@ func (w *Worker) LocalStep(batchSize int) float64 {
 func (w *Worker) Drift(w0 []float64) []float64 {
 	tensor.Sub(w.drift, w.Net.Params(), w0)
 	return w.drift
+}
+
+// DriftSquaredNorm recomputes the drift and returns it together with
+// ‖u‖², fused into one sweep (every FDA state computation needs both).
+// The squared norm accumulates left to right, bit-identical to
+// SquaredNorm(Drift(w0)).
+func (w *Worker) DriftSquaredNorm(w0 []float64) ([]float64, float64) {
+	sq := tensor.SubThenSquaredNorm(w.drift, w.Net.Params(), w0)
+	return w.drift, sq
 }
 
 // Env is the shared state a strategy operates on: the cluster fabric, the
@@ -60,6 +76,16 @@ type Env struct {
 	codecBuf   []float64
 	codecMean  []float64
 	pool       *pool
+
+	// w0Arenas double-buffers the (W0, WPrev) pair: at most two
+	// synchronization-point models are live at once, so each sync writes
+	// the new global model into the arena currently holding the retiring
+	// WPrev instead of allocating. w0Idx tracks which arena W0 occupies.
+	w0Arenas [2][]float64
+	w0Idx    int
+	// driftScratch backs the measurement helpers (ExactVariance and the
+	// drift-identity variant), which strategies may evaluate every step.
+	driftScratch []float64
 }
 
 func newEnv(cluster *comm.Cluster, workers []*Worker) *Env {
@@ -68,12 +94,36 @@ func newEnv(cluster *comm.Cluster, workers []*Worker) *Env {
 		Workers: workers,
 		D:       workers[0].Net.NumParams(),
 	}
-	e.W0 = tensor.Clone(workers[0].Net.Params())
+	e.w0Arenas[0] = tensor.Clone(workers[0].Net.Params())
+	e.W0 = e.w0Arenas[0]
 	e.paramViews = make([][]float64, len(workers))
 	for i, w := range workers {
 		e.paramViews[i] = w.Net.Params()
 	}
 	return e
+}
+
+// advanceW0 retires the current (W0, WPrev) pair: WPrev becomes the old
+// W0 and W0 becomes a copy of src, written into the spare arena. Callers
+// must not retain the old WPrev slice across synchronizations — the
+// arena it occupies is recycled on the following call.
+func (e *Env) advanceW0(src []float64) {
+	next := 1 - e.w0Idx
+	if e.w0Arenas[next] == nil {
+		e.w0Arenas[next] = make([]float64, e.D)
+	}
+	copy(e.w0Arenas[next], src)
+	e.WPrev = e.W0
+	e.W0 = e.w0Arenas[next]
+	e.w0Idx = next
+}
+
+// scratchD returns the Env's lazily sized d-length measurement scratch.
+func (e *Env) scratchD() []float64 {
+	if e.driftScratch == nil {
+		e.driftScratch = make([]float64, e.D)
+	}
+	return e.driftScratch
 }
 
 // Parallelism returns the effective goroutine count of the run's worker
@@ -87,6 +137,15 @@ func (e *Env) Parallelism() int { return e.pool.Workers() }
 // after the call, in worker order, as in the sequential path. A nil-pool
 // Env (zero value, tests) runs inline.
 func (e *Env) ForEachWorker(body func(k int, w *Worker)) {
+	// Sequential fast path: calling body inline avoids building the
+	// index-adapter closure, which escapes into the pool and would be the
+	// one heap allocation left on the steady-state step.
+	if e.pool.Workers() <= 1 || len(e.Workers) <= 1 {
+		for i, w := range e.Workers {
+			body(i, w)
+		}
+		return
+	}
 	e.pool.ForEach(len(e.Workers), func(i int) { body(i, e.Workers[i]) })
 }
 
@@ -100,9 +159,8 @@ func (e *Env) SyncModels() {
 		e.syncCompressed()
 		return
 	}
-	e.WPrev = e.W0
 	e.Cluster.AllReduce("model", e.paramViews)
-	e.W0 = tensor.Clone(e.Workers[0].Net.Params())
+	e.advanceW0(e.Workers[0].Net.Params())
 	e.SyncCount++
 }
 
@@ -124,11 +182,12 @@ func (e *Env) syncCompressed() {
 		tensor.AXPY(1, e.codecBuf, e.codecMean)
 	}
 	tensor.Scale(e.codecMean, 1/float64(len(e.Workers)))
-	e.WPrev = e.W0
-	global := tensor.Clone(e.W0)
-	tensor.Add(global, global, e.codecMean)
+	// New global model w_t0 + mean(û), assembled in the codec scratch and
+	// copied into the W0 arena by advanceW0.
+	tensor.Add(e.codecMean, e.W0, e.codecMean)
+	global := e.codecMean
 	e.ForEachWorker(func(_ int, w *Worker) { w.Net.SetParams(global) })
-	e.W0 = global
+	e.advanceW0(global)
 	e.SyncCount++
 	// Each worker uploads its compressed drift and downloads the
 	// aggregate; charge 2× the summed compressed payloads.
@@ -146,7 +205,8 @@ func (e *Env) GlobalModel(dst []float64) {
 func (e *Env) MeanSquaredDrift() float64 {
 	var s float64
 	for _, w := range e.Workers {
-		s += tensor.SquaredNorm(w.Drift(e.W0))
+		_, sq := w.DriftSquaredNorm(e.W0)
+		s += sq
 	}
 	return s / float64(len(e.Workers))
 }
@@ -160,20 +220,22 @@ func (e *Env) ExactVariance() float64 {
 	var s float64
 	diff := make([]float64, e.D)
 	for _, w := range e.Workers {
-		tensor.Sub(diff, w.Net.Params(), mean)
-		s += tensor.SquaredNorm(diff)
+		s += tensor.SubThenSquaredNorm(diff, w.Net.Params(), mean)
 	}
 	return s / float64(len(e.Workers))
 }
 
 // ExactVarianceViaDrift returns Var(w_t) through the drift identity
 // Eq. (4): mean‖u‖² − ‖ū‖². Tests assert it matches ExactVariance.
+// OracleFDA evaluates it every step, so the mean drift accumulates in
+// the Env scratch rather than a fresh vector.
 func (e *Env) ExactVarianceViaDrift() float64 {
-	meanDrift := make([]float64, e.D)
+	meanDrift := e.scratchD()
+	tensor.Zero(meanDrift)
 	var meanSq float64
 	for _, w := range e.Workers {
-		u := w.Drift(e.W0)
-		meanSq += tensor.SquaredNorm(u)
+		u, sq := w.DriftSquaredNorm(e.W0)
+		meanSq += sq
 		tensor.AXPY(1, u, meanDrift)
 	}
 	k := float64(len(e.Workers))

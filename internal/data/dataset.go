@@ -129,13 +129,27 @@ func NewSampler(ds *Dataset, rng *tensor.RNG) *Sampler {
 
 // Sample fills a batch of size b.
 func (s *Sampler) Sample(b int) Batch {
-	batch := Batch{X: make([][]float64, b), Y: make([]int, b)}
+	var batch Batch
+	s.SampleInto(&batch, b)
+	return batch
+}
+
+// SampleInto refills batch with b samples drawn like Sample, reusing
+// batch's backing slices once they have capacity b. Feature rows are
+// views into the dataset, so a steady-state caller that keeps one Batch
+// per worker allocates nothing.
+func (s *Sampler) SampleInto(batch *Batch, b int) {
+	if cap(batch.X) < b || cap(batch.Y) < b {
+		batch.X = make([][]float64, b)
+		batch.Y = make([]int, b)
+	}
+	batch.X = batch.X[:b]
+	batch.Y = batch.Y[:b]
 	for i := 0; i < b; i++ {
 		j := s.rng.Intn(s.ds.Len())
 		batch.X[i] = s.ds.X[j]
 		batch.Y[i] = s.ds.Y[j]
 	}
-	return batch
 }
 
 // EpochIterator iterates a dataset in shuffled order in mini-batches; used

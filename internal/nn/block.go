@@ -128,9 +128,8 @@ func (b *DenseBlock) Forward(x []float64, train bool) []float64 {
 
 func (b *DenseBlock) Backward(gradOut []float64) []float64 {
 	// Gradient w.r.t. the input is the passthrough part plus the inner
-	// layer's backpropagated gradient.
+	// layer's backpropagated gradient, fused into one sweep.
 	innerGrad := b.inner.Backward(gradOut[b.in.Size():])
-	copy(b.gin, gradOut[:b.in.Size()])
-	tensor.AXPY(1, innerGrad, b.gin)
+	tensor.AXPYTo(b.gin, 1, innerGrad, gradOut[:b.in.Size()])
 	return b.gin
 }

@@ -15,9 +15,19 @@ type Conv2D struct {
 	w, gw []float64 // outC*inC*k*k weight / gradient views
 	b, gb []float64 // outC bias / gradient views
 
-	x   []float64 // cached input
 	y   []float64 // output buffer
 	gin []float64 // input-gradient buffer
+
+	// im2col scratch, owned by the layer and reused across samples so the
+	// steady-state step allocates nothing. cols is the (inC·k·k)×(H·W)
+	// patch matrix of the last Forward — row r holds, for every output
+	// pixel, the input value under kernel tap r (zero where the tap falls
+	// outside the image); Backward consumes it in place of a cached input.
+	// gcol and gcol2 are plane-length rows of the patch-gradient for a
+	// pair of taps, scattered back into gin tap by tap.
+	cols  []float64
+	gcol  []float64
+	gcol2 []float64
 }
 
 // NewConv2D returns a same-padded stride-1 convolution with a square odd
@@ -30,9 +40,12 @@ func NewConv2D(in Shape, outC, k int, scheme InitScheme) *Conv2D {
 		panic("nn: Conv2D kernel must be positive and odd")
 	}
 	l := &Conv2D{in: in, outC: outC, k: k, scheme: scheme}
-	l.x = make([]float64, in.Size())
+	plane := in.H * in.W
 	l.y = make([]float64, l.OutShape().Size())
 	l.gin = make([]float64, in.Size())
+	l.cols = make([]float64, in.C*k*k*plane)
+	l.gcol = make([]float64, plane)
+	l.gcol2 = make([]float64, plane)
 	return l
 }
 
@@ -62,82 +75,238 @@ func (l *Conv2D) Init(rng *tensor.RNG) {
 	tensor.Zero(l.b)
 }
 
-// widx returns the flat weight index for (oc, ic, ki, kj).
-func (l *Conv2D) widx(oc, ic, ki, kj int) int {
-	return ((oc*l.in.C+ic)*l.k+ki)*l.k + kj
-}
-
-func (l *Conv2D) Forward(x []float64, _ bool) []float64 {
-	copy(l.x, x)
+// im2col lowers x into the layer's patch matrix: row r = (ic, ki, kj)
+// (the weight layout) holds, pixel by pixel, the input value that kernel
+// tap touches, with zeros where the tap falls into the padding. Boundary
+// clipping is computed once per tap here instead of once per (tap, output
+// channel) as in a direct convolution.
+func (l *Conv2D) im2col(x []float64) {
 	h, w, inC := l.in.H, l.in.W, l.in.C
 	pad := l.k / 2
 	plane := h * w
-	for oc := 0; oc < l.outC; oc++ {
-		out := l.y[oc*plane : (oc+1)*plane]
-		tensor.Fill(out, l.b[oc])
-		for ic := 0; ic < inC; ic++ {
-			xin := x[ic*plane : (ic+1)*plane]
-			for ki := 0; ki < l.k; ki++ {
-				for kj := 0; kj < l.k; kj++ {
-					wv := l.w[l.widx(oc, ic, ki, kj)]
-					if wv == 0 {
-						continue
-					}
-					di, dj := ki-pad, kj-pad
-					iLo, iHi := max(0, -di), min(h, h-di)
-					jLo, jHi := max(0, -dj), min(w, w-dj)
+	r := 0
+	for ic := 0; ic < inC; ic++ {
+		xin := x[ic*plane : (ic+1)*plane]
+		for ki := 0; ki < l.k; ki++ {
+			for kj := 0; kj < l.k; kj++ {
+				row := l.cols[r*plane : (r+1)*plane]
+				di, dj := ki-pad, kj-pad
+				iLo, iHi := max(0, -di), min(h, h-di)
+				jLo, jHi := max(0, -dj), min(w, w-dj)
+				switch {
+				case iLo >= iHi || jLo >= jHi:
+					// Tap entirely in the padding (kernel wider than the
+					// image): the whole row is zeros.
+					tensor.Zero(row)
+				case jLo == 0 && jHi == w:
+					// Horizontally centered tap: one contiguous copy with
+					// zeroed vertical borders.
+					tensor.Zero(row[:iLo*w])
+					copy(row[iLo*w:iHi*w], xin[(iLo+di)*w:(iHi+di)*w])
+					tensor.Zero(row[iHi*w:])
+				default:
+					tensor.Zero(row)
 					for i := iLo; i < iHi; i++ {
-						srcRow := xin[(i+di)*w:]
-						dstRow := out[i*w:]
-						for j := jLo; j < jHi; j++ {
-							dstRow[j] += wv * srcRow[j+dj]
-						}
+						copy(row[i*w+jLo:i*w+jHi], xin[(i+di)*w+jLo+dj:(i+di)*w+jHi+dj])
 					}
 				}
+				r++
+			}
+		}
+	}
+}
+
+// Forward computes y = W·im2col(x) + b as one fused AXPY sweep per
+// (output channel, kernel tap). For each output pixel the contributions
+// accumulate onto the bias in ascending (ic, ki, kj) order — exactly the
+// order of the direct convolution, so results are bit-identical to the
+// scalar reference (taps in the padding contribute an exact +0).
+func (l *Conv2D) Forward(x []float64, _ bool) []float64 {
+	l.im2col(x)
+	plane := l.in.H * l.in.W
+	taps := l.in.C * l.k * l.k
+	// 2 output channels × 4 taps register blocking: each cols element
+	// loaded once serves both channels. Interleaving channels never
+	// reorders any single output element's tap accumulation, so results
+	// stay bit-identical to the channel-at-a-time scalar reference.
+	oc := 0
+	for ; oc+2 <= l.outC; oc += 2 {
+		outA := l.y[oc*plane : (oc+1)*plane]
+		outB := l.y[(oc+1)*plane : (oc+2)*plane]
+		tensor.Fill(outA, l.b[oc])
+		tensor.Fill(outB, l.b[oc+1])
+		wa := l.w[oc*taps : (oc+1)*taps]
+		wb := l.w[(oc+1)*taps : (oc+2)*taps]
+		r := 0
+		for ; r+4 <= taps; r += 4 {
+			tensor.AXPY4x2(wa[r], wa[r+1], wa[r+2], wa[r+3],
+				wb[r], wb[r+1], wb[r+2], wb[r+3],
+				l.cols[r*plane:(r+1)*plane], l.cols[(r+1)*plane:(r+2)*plane],
+				l.cols[(r+2)*plane:(r+3)*plane], l.cols[(r+3)*plane:(r+4)*plane],
+				outA, outB)
+		}
+		for ; r < taps; r++ {
+			col := l.cols[r*plane : (r+1)*plane]
+			if wv := wa[r]; wv != 0 {
+				tensor.AXPY(wv, col, outA)
+			}
+			if wv := wb[r]; wv != 0 {
+				tensor.AXPY(wv, col, outB)
+			}
+		}
+	}
+	for ; oc < l.outC; oc++ {
+		out := l.y[oc*plane : (oc+1)*plane]
+		tensor.Fill(out, l.b[oc])
+		wrow := l.w[oc*taps : (oc+1)*taps]
+		r := 0
+		for ; r+4 <= taps; r += 4 {
+			tensor.AXPY4(wrow[r], wrow[r+1], wrow[r+2], wrow[r+3],
+				l.cols[r*plane:(r+1)*plane], l.cols[(r+1)*plane:(r+2)*plane],
+				l.cols[(r+2)*plane:(r+3)*plane], l.cols[(r+3)*plane:(r+4)*plane], out)
+		}
+		for ; r < taps; r++ {
+			if wv := wrow[r]; wv != 0 {
+				tensor.AXPY(wv, l.cols[r*plane:(r+1)*plane], out)
 			}
 		}
 	}
 	return l.y
 }
 
+// Backward consumes the patch matrix of the last Forward: the bias
+// gradient is a plane sum, the weight gradient one fused dot per (output
+// channel, tap), and the input gradient is Wᵀ·gradOut computed tap by tap
+// into gcol and scattered back through the im2col geometry.
 func (l *Conv2D) Backward(gradOut []float64) []float64 {
-	h, w, inC := l.in.H, l.in.W, l.in.C
-	pad := l.k / 2
-	plane := h * w
-	tensor.Zero(l.gin)
-	for oc := 0; oc < l.outC; oc++ {
-		gout := gradOut[oc*plane : (oc+1)*plane]
-		var bsum float64
-		for _, g := range gout {
-			bsum += g
+	plane := l.in.H * l.in.W
+	taps := l.in.C * l.k * l.k
+	oc := 0
+	for ; oc+2 <= l.outC; oc += 2 {
+		goutA := gradOut[oc*plane : (oc+1)*plane]
+		goutB := gradOut[(oc+1)*plane : (oc+2)*plane]
+		l.gb[oc] += tensor.Sum(goutA)
+		l.gb[oc+1] += tensor.Sum(goutB)
+		gwa := l.gw[oc*taps : (oc+1)*taps]
+		gwb := l.gw[(oc+1)*taps : (oc+2)*taps]
+		r := 0
+		for ; r+4 <= taps; r += 4 {
+			s0, s1, s2, s3, t0, t1, t2, t3 := tensor.Dot4x2(goutA, goutB,
+				l.cols[r*plane:(r+1)*plane], l.cols[(r+1)*plane:(r+2)*plane],
+				l.cols[(r+2)*plane:(r+3)*plane], l.cols[(r+3)*plane:(r+4)*plane])
+			gwa[r] += s0
+			gwa[r+1] += s1
+			gwa[r+2] += s2
+			gwa[r+3] += s3
+			gwb[r] += t0
+			gwb[r+1] += t1
+			gwb[r+2] += t2
+			gwb[r+3] += t3
 		}
-		l.gb[oc] += bsum
-		for ic := 0; ic < inC; ic++ {
-			xin := l.x[ic*plane : (ic+1)*plane]
-			gin := l.gin[ic*plane : (ic+1)*plane]
-			for ki := 0; ki < l.k; ki++ {
-				for kj := 0; kj < l.k; kj++ {
-					di, dj := ki-pad, kj-pad
-					iLo, iHi := max(0, -di), min(h, h-di)
-					jLo, jHi := max(0, -dj), min(w, w-dj)
-					var wgrad float64
-					wv := l.w[l.widx(oc, ic, ki, kj)]
-					for i := iLo; i < iHi; i++ {
-						srcRow := xin[(i+di)*w:]
-						ginRow := gin[(i+di)*w:]
-						goutRow := gout[i*w:]
-						for j := jLo; j < jHi; j++ {
-							g := goutRow[j]
-							wgrad += g * srcRow[j+dj]
-							ginRow[j+dj] += g * wv
-						}
-					}
-					l.gw[l.widx(oc, ic, ki, kj)] += wgrad
-				}
-			}
+		for ; r < taps; r++ {
+			col := l.cols[r*plane : (r+1)*plane]
+			gwa[r] += tensor.Dot(goutA, col)
+			gwb[r] += tensor.Dot(goutB, col)
 		}
 	}
+	for ; oc < l.outC; oc++ {
+		gout := gradOut[oc*plane : (oc+1)*plane]
+		l.gb[oc] += tensor.Sum(gout)
+		gwrow := l.gw[oc*taps : (oc+1)*taps]
+		r := 0
+		for ; r+4 <= taps; r += 4 {
+			s0, s1, s2, s3 := tensor.Dot4(gout,
+				l.cols[r*plane:(r+1)*plane], l.cols[(r+1)*plane:(r+2)*plane],
+				l.cols[(r+2)*plane:(r+3)*plane], l.cols[(r+3)*plane:(r+4)*plane])
+			gwrow[r] += s0
+			gwrow[r+1] += s1
+			gwrow[r+2] += s2
+			gwrow[r+3] += s3
+		}
+		for ; r < taps; r++ {
+			gwrow[r] += tensor.Dot(gout, l.cols[r*plane:(r+1)*plane])
+		}
+	}
+	tensor.Zero(l.gin)
+	// Patch gradient Wᵀ·gradOut, two taps at a time (each gradOut element
+	// loaded once for both), each accumulated over output channels in
+	// ascending order and scattered back through the im2col geometry.
+	r := 0
+	for ; r+2 <= taps; r += 2 {
+		tensor.Zero(l.gcol)
+		tensor.Zero(l.gcol2)
+		oc := 0
+		for ; oc+4 <= l.outC; oc += 4 {
+			tensor.AXPY4x2(
+				l.w[oc*taps+r], l.w[(oc+1)*taps+r], l.w[(oc+2)*taps+r], l.w[(oc+3)*taps+r],
+				l.w[oc*taps+r+1], l.w[(oc+1)*taps+r+1], l.w[(oc+2)*taps+r+1], l.w[(oc+3)*taps+r+1],
+				gradOut[oc*plane:(oc+1)*plane], gradOut[(oc+1)*plane:(oc+2)*plane],
+				gradOut[(oc+2)*plane:(oc+3)*plane], gradOut[(oc+3)*plane:(oc+4)*plane],
+				l.gcol, l.gcol2)
+		}
+		for ; oc < l.outC; oc++ {
+			gout := gradOut[oc*plane : (oc+1)*plane]
+			if wv := l.w[oc*taps+r]; wv != 0 {
+				tensor.AXPY(wv, gout, l.gcol)
+			}
+			if wv := l.w[oc*taps+r+1]; wv != 0 {
+				tensor.AXPY(wv, gout, l.gcol2)
+			}
+		}
+		l.scatterTap(l.gcol, r)
+		l.scatterTap(l.gcol2, r+1)
+	}
+	for ; r < taps; r++ {
+		tensor.Zero(l.gcol)
+		oc := 0
+		for ; oc+4 <= l.outC; oc += 4 {
+			tensor.AXPY4(
+				l.w[oc*taps+r], l.w[(oc+1)*taps+r], l.w[(oc+2)*taps+r], l.w[(oc+3)*taps+r],
+				gradOut[oc*plane:(oc+1)*plane], gradOut[(oc+1)*plane:(oc+2)*plane],
+				gradOut[(oc+2)*plane:(oc+3)*plane], gradOut[(oc+3)*plane:(oc+4)*plane],
+				l.gcol)
+		}
+		for ; oc < l.outC; oc++ {
+			if wv := l.w[oc*taps+r]; wv != 0 {
+				tensor.AXPY(wv, gradOut[oc*plane:(oc+1)*plane], l.gcol)
+			}
+		}
+		l.scatterTap(l.gcol, r)
+	}
 	return l.gin
+}
+
+// scatterTap adds the plane-length patch-gradient row of kernel tap r
+// into the input gradient at that tap's spatial offset (col2im for one
+// row).
+func (l *Conv2D) scatterTap(gcol []float64, r int) {
+	h, w := l.in.H, l.in.W
+	pad := l.k / 2
+	plane := h * w
+	kk := l.k * l.k
+	ic := r / kk
+	rem := r % kk
+	ki, kj := rem/l.k, rem%l.k
+	di, dj := ki-pad, kj-pad
+	iLo, iHi := max(0, -di), min(h, h-di)
+	jLo, jHi := max(0, -dj), min(w, w-dj)
+	if iLo >= iHi || jLo >= jHi {
+		return // tap entirely in the padding: nothing to scatter
+	}
+	gin := l.gin[ic*plane : (ic+1)*plane]
+	if jLo == 0 && jHi == w {
+		// Horizontally centered tap: the valid rows are contiguous in
+		// both buffers, so the scatter collapses to one unrolled add.
+		tensor.Accumulate(gin[(iLo+di)*w:(iHi+di)*w], gcol[iLo*w:iHi*w])
+		return
+	}
+	for i := iLo; i < iHi; i++ {
+		src := gcol[i*w+jLo : i*w+jHi]
+		dst := gin[(i+di)*w+jLo+dj : (i+di)*w+jHi+dj]
+		for j, v := range src {
+			dst[j] += v
+		}
+	}
 }
 
 // MaxPool2D is a non-overlapping max pooling layer with a square window.
@@ -175,6 +344,9 @@ func (l *MaxPool2D) Bind(_, _ []float64) {}
 func (l *MaxPool2D) Init(_ *tensor.RNG)  {}
 
 func (l *MaxPool2D) Forward(x []float64, _ bool) []float64 {
+	if l.size == 2 {
+		return l.forward2(x)
+	}
 	h, w := l.in.H, l.in.W
 	oh, ow := h/l.size, w/l.size
 	for c := 0; c < l.in.C; c++ {
@@ -195,6 +367,42 @@ func (l *MaxPool2D) Forward(x []float64, _ bool) []float64 {
 				o := c*oh*ow + i*ow + j
 				l.y[o] = best
 				l.arg[o] = c*h*w + bestIdx
+			}
+		}
+	}
+	return l.y
+}
+
+// forward2 is the 2×2 window specialization (every pooling layer in the
+// model zoo): the four candidates are compared branch-by-branch without
+// the generic window loops or per-candidate index multiplication. Tie
+// handling matches the generic path — strictly-greater wins, so the
+// first candidate in window scan order is kept on ties.
+func (l *MaxPool2D) forward2(x []float64) []float64 {
+	h, w := l.in.H, l.in.W
+	oh, ow := h/2, w/2
+	for c := 0; c < l.in.C; c++ {
+		xin := x[c*h*w:]
+		o := c * oh * ow
+		for i := 0; i < oh; i++ {
+			top := 2 * i * w
+			bot := top + w
+			for j := 0; j < ow; j++ {
+				i00 := top + 2*j
+				bestIdx, best := i00, xin[i00]
+				if v := xin[i00+1]; v > best {
+					bestIdx, best = i00+1, v
+				}
+				i10 := bot + 2*j
+				if v := xin[i10]; v > best {
+					bestIdx, best = i10, v
+				}
+				if v := xin[i10+1]; v > best {
+					bestIdx, best = i10+1, v
+				}
+				l.y[o] = best
+				l.arg[o] = c*h*w + bestIdx
+				o++
 			}
 		}
 	}

@@ -68,10 +68,16 @@ func (l *Dense) Init(rng *tensor.RNG) {
 	tensor.Zero(l.b.Data)
 }
 
+// Forward computes y = W·x + b in one pass over the rows: each output
+// is its row dot product (accumulated left to right) plus the bias added
+// last — exactly the operation order of MatVec followed by a bias Add,
+// so results are bit-identical to the two-pass reference.
 func (l *Dense) Forward(x []float64, _ bool) []float64 {
 	copy(l.x, x)
-	tensor.MatVec(l.y, l.w, x)
-	tensor.Add(l.y, l.y, l.b.Data)
+	b := l.b.Data
+	for i := 0; i < l.out; i++ {
+		l.y[i] = tensor.Dot(l.w.Row(i), x) + b[i]
+	}
 	return l.y
 }
 
@@ -92,6 +98,7 @@ type Dropout struct {
 	rng  *tensor.RNG
 	mask []bool
 	out  []float64
+	gin  []float64
 }
 
 // NewDropout returns a dropout layer with the given drop rate in [0, 1).
@@ -103,7 +110,7 @@ func NewDropout(dim int, rate float64, rng *tensor.RNG) *Dropout {
 	}
 	return &Dropout{
 		dim: dim, rate: rate, rng: rng,
-		mask: make([]bool, dim), out: make([]float64, dim),
+		mask: make([]bool, dim), out: make([]float64, dim), gin: make([]float64, dim),
 	}
 }
 
@@ -137,15 +144,16 @@ func (l *Dropout) Forward(x []float64, train bool) []float64 {
 }
 
 func (l *Dropout) Backward(gradOut []float64) []float64 {
-	g := make([]float64, l.dim)
 	scale := 1 / (1 - l.rate)
 	if l.rate == 0 {
 		scale = 1
 	}
 	for i, keep := range l.mask {
 		if keep {
-			g[i] = gradOut[i] * scale
+			l.gin[i] = gradOut[i] * scale
+		} else {
+			l.gin[i] = 0
 		}
 	}
-	return g
+	return l.gin
 }

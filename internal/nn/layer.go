@@ -8,13 +8,20 @@
 // marshalling. Layers receive sub-slices of the flat vector at bind time
 // and view them as matrices in place.
 //
-// The stack is deliberately per-sample (mini-batches loop over samples and
-// average gradients): at the model sizes used in this reproduction the
-// simplicity and cache behaviour beat an im2col/GEMM pipeline, and the
-// numerics are easier to verify with finite differences.
+// The stack is per-sample (mini-batches loop over samples and average
+// gradients), which keeps the numerics easy to verify with finite
+// differences. Within a sample the layers run on the fused kernel layer
+// of internal/tensor — convolutions lower through a per-layer reusable
+// im2col scratch (DESIGN.md §7) — and every layer owns preallocated
+// activation and gradient buffers, so a steady-state training step
+// performs zero heap allocations.
 package nn
 
-import "repro/internal/tensor"
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
 
 // Layer is one differentiable stage of a network.
 //
@@ -54,16 +61,18 @@ func (s Shape) Size() int { return s.H * s.W * s.C }
 // relu, tanh and sigmoid are implemented as stateless-parameter layers
 // that cache their forward activations.
 
-// ReLU is the rectified-linear activation layer.
+// ReLU is the rectified-linear activation layer. It caches only its
+// output: out > 0 exactly when the input was > 0, so the backward mask
+// needs no separate input copy.
 type ReLU struct {
 	dim int
-	in  []float64
 	out []float64
+	gin []float64
 }
 
 // NewReLU returns a ReLU over dim-length activations.
 func NewReLU(dim int) *ReLU {
-	return &ReLU{dim: dim, in: make([]float64, dim), out: make([]float64, dim)}
+	return &ReLU{dim: dim, out: make([]float64, dim), gin: make([]float64, dim)}
 }
 
 func (l *ReLU) InDim() int          { return l.dim }
@@ -71,37 +80,44 @@ func (l *ReLU) OutDim() int         { return l.dim }
 func (l *ReLU) ParamCount() int     { return 0 }
 func (l *ReLU) Bind(_, _ []float64) {}
 func (l *ReLU) Init(_ *tensor.RNG)  {}
+
+// Forward rectifies branchlessly: clearing all bits when the sign bit is
+// set maps negative inputs and −0 to +0 and keeps non-negative inputs
+// bit-exact, so the output equals the branching max(v, 0) for all finite
+// inputs. Random activations make the sign branch unpredictable — the
+// mask form trades it for three integer ops per element.
 func (l *ReLU) Forward(x []float64, _ bool) []float64 {
-	copy(l.in, x)
 	for i, v := range x {
-		if v > 0 {
-			l.out[i] = v
-		} else {
-			l.out[i] = 0
-		}
+		b := math.Float64bits(v)
+		l.out[i] = math.Float64frombits(b &^ uint64(int64(b)>>63))
 	}
 	return l.out
 }
 
+// Backward masks the gradient by out > 0, again branchlessly: out is
+// either a strictly positive value or +0, so "out > 0" is exactly
+// "bits(out) != 0", turned into an all-ones/all-zero mask.
 func (l *ReLU) Backward(gradOut []float64) []float64 {
-	g := make([]float64, l.dim)
-	for i, v := range l.in {
-		if v > 0 {
-			g[i] = gradOut[i]
-		}
+	out := l.out
+	g := gradOut[:len(out)]
+	for i, v := range out {
+		b := int64(math.Float64bits(v))
+		mask := uint64((b | -b) >> 63)
+		l.gin[i] = math.Float64frombits(math.Float64bits(g[i]) & mask)
 	}
-	return g
+	return l.gin
 }
 
 // Tanh is the hyperbolic-tangent activation layer.
 type Tanh struct {
 	dim int
 	out []float64
+	gin []float64
 }
 
 // NewTanh returns a Tanh over dim-length activations.
 func NewTanh(dim int) *Tanh {
-	return &Tanh{dim: dim, out: make([]float64, dim)}
+	return &Tanh{dim: dim, out: make([]float64, dim), gin: make([]float64, dim)}
 }
 
 func (l *Tanh) InDim() int          { return l.dim }
@@ -118,11 +134,10 @@ func (l *Tanh) Forward(x []float64, _ bool) []float64 {
 }
 
 func (l *Tanh) Backward(gradOut []float64) []float64 {
-	g := make([]float64, l.dim)
 	for i, y := range l.out {
-		g[i] = gradOut[i] * (1 - y*y)
+		l.gin[i] = gradOut[i] * (1 - y*y)
 	}
-	return g
+	return l.gin
 }
 
 // tanh avoids importing math in the hot path signature; math.Tanh is fine.

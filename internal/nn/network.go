@@ -20,6 +20,9 @@ type Network struct {
 	// gradient updates (used by the transfer-learning model to emulate a
 	// feature extractor that is fixed in the feature-extraction stage).
 	frozen int
+	// probs is the softmax/gradient scratch shared by LossGradBatch and
+	// Loss so the steady-state training step allocates nothing.
+	probs []float64
 }
 
 // New wires layers into a network, allocates the flat parameter and
@@ -49,6 +52,7 @@ func New(rng *tensor.RNG, layers ...Layer) *Network {
 		l.Init(rng)
 		off += c
 	}
+	n.probs = make([]float64, n.OutDim())
 	return n
 }
 
@@ -118,12 +122,11 @@ func (n *Network) LossGradBatch(b data.Batch) float64 {
 	}
 	n.ZeroGrads()
 	var loss float64
-	probs := make([]float64, n.OutDim())
 	for i := range b.X {
 		logits := n.Forward(b.X[i], true)
-		loss += SoftmaxCrossEntropy(probs, logits, b.Y[i])
-		// probs now holds softmax(logits) − onehot(y) = dL/dlogits.
-		n.backward(probs)
+		loss += SoftmaxCrossEntropy(n.probs, logits, b.Y[i])
+		// n.probs now holds softmax(logits) − onehot(y) = dL/dlogits.
+		n.backward(n.probs)
 	}
 	inv := 1 / float64(len(b.X))
 	tensor.Scale(n.grads, inv)
@@ -136,11 +139,10 @@ func (n *Network) LossGradBatch(b data.Batch) float64 {
 // Loss returns the mean softmax cross-entropy over a dataset without
 // touching gradients (dropout disabled).
 func (n *Network) Loss(ds *data.Dataset) float64 {
-	probs := make([]float64, n.OutDim())
 	var loss float64
 	for i := range ds.X {
 		logits := n.Forward(ds.X[i], false)
-		loss += SoftmaxCrossEntropy(probs, logits, ds.Y[i])
+		loss += SoftmaxCrossEntropy(n.probs, logits, ds.Y[i])
 	}
 	return loss / float64(ds.Len())
 }

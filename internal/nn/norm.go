@@ -26,6 +26,7 @@ type BatchNorm struct {
 	xhat            []float64 // cached normalized input
 	std             []float64 // cached stddev used in the last forward
 	out             []float64
+	gin             []float64
 }
 
 // NewBatchNorm returns a batch-normalization layer over dim activations.
@@ -40,6 +41,7 @@ func NewBatchNorm(dim int) *BatchNorm {
 		xhat:    make([]float64, dim),
 		std:     make([]float64, dim),
 		out:     make([]float64, dim),
+		gin:     make([]float64, dim),
 	}
 	tensor.Fill(bn.runVar, 1)
 	return bn
@@ -83,24 +85,24 @@ func (l *BatchNorm) Forward(x []float64, train bool) []float64 {
 // inference-style gradient, exact for the EMA formulation since each
 // sample's contribution to the EMA is O(1−momentum)).
 func (l *BatchNorm) Backward(gradOut []float64) []float64 {
-	g := make([]float64, l.dim)
 	for i := range gradOut {
 		l.gGamma[i] += gradOut[i] * l.xhat[i]
 		l.gBeta[i] += gradOut[i]
-		g[i] = gradOut[i] * l.gamma[i] / l.std[i]
+		l.gin[i] = gradOut[i] * l.gamma[i] / l.std[i]
 	}
-	return g
+	return l.gin
 }
 
 // Sigmoid is the logistic activation layer.
 type Sigmoid struct {
 	dim int
 	out []float64
+	gin []float64
 }
 
 // NewSigmoid returns a Sigmoid over dim activations.
 func NewSigmoid(dim int) *Sigmoid {
-	return &Sigmoid{dim: dim, out: make([]float64, dim)}
+	return &Sigmoid{dim: dim, out: make([]float64, dim), gin: make([]float64, dim)}
 }
 
 func (l *Sigmoid) InDim() int          { return l.dim }
@@ -117,11 +119,10 @@ func (l *Sigmoid) Forward(x []float64, _ bool) []float64 {
 }
 
 func (l *Sigmoid) Backward(gradOut []float64) []float64 {
-	g := make([]float64, l.dim)
 	for i, y := range l.out {
-		g[i] = gradOut[i] * y * (1 - y)
+		l.gin[i] = gradOut[i] * y * (1 - y)
 	}
-	return g
+	return l.gin
 }
 
 // LeakyReLU is max(x, αx) with slope α on the negative side.
@@ -130,6 +131,7 @@ type LeakyReLU struct {
 	Alpha float64
 	in    []float64
 	out   []float64
+	gin   []float64
 }
 
 // NewLeakyReLU returns a LeakyReLU with the given negative slope.
@@ -137,7 +139,10 @@ func NewLeakyReLU(dim int, alpha float64) *LeakyReLU {
 	if alpha < 0 || alpha >= 1 {
 		panic("nn: LeakyReLU slope outside [0,1)")
 	}
-	return &LeakyReLU{dim: dim, Alpha: alpha, in: make([]float64, dim), out: make([]float64, dim)}
+	return &LeakyReLU{
+		dim: dim, Alpha: alpha,
+		in: make([]float64, dim), out: make([]float64, dim), gin: make([]float64, dim),
+	}
 }
 
 func (l *LeakyReLU) InDim() int          { return l.dim }
@@ -159,13 +164,12 @@ func (l *LeakyReLU) Forward(x []float64, _ bool) []float64 {
 }
 
 func (l *LeakyReLU) Backward(gradOut []float64) []float64 {
-	g := make([]float64, l.dim)
 	for i, v := range l.in {
 		if v > 0 {
-			g[i] = gradOut[i]
+			l.gin[i] = gradOut[i]
 		} else {
-			g[i] = l.Alpha * gradOut[i]
+			l.gin[i] = l.Alpha * gradOut[i]
 		}
 	}
-	return g
+	return l.gin
 }

@@ -9,7 +9,11 @@
 // internal/nn.
 package opt
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/tensor"
+)
 
 // Optimizer updates parameters in place from a gradient.
 type Optimizer interface {
@@ -38,15 +42,18 @@ func NewSGD(lr float64) Factory {
 	return func() Optimizer { return &SGD{LR: lr} }
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. Without weight decay the update is a single
+// fused AXPY (p += (−lr)·g, bit-identical to p −= lr·g); with decay the
+// decay branch is hoisted out of the element loop.
 func (o *SGD) Step(params, grads []float64) {
 	checkLens(params, grads)
-	for i := range params {
-		g := grads[i]
-		if o.WeightDecay != 0 {
-			g += o.WeightDecay * params[i]
-		}
-		params[i] -= o.LR * g
+	if o.WeightDecay == 0 {
+		tensor.AXPY(-o.LR, grads, params)
+		return
+	}
+	lr, wd := o.LR, o.WeightDecay
+	for i, g := range grads {
+		params[i] -= lr * (g + wd*params[i])
 	}
 }
 
@@ -80,24 +87,42 @@ func NewSGDNesterov(lr, mu, weightDecay float64) Factory {
 	}
 }
 
-// Step implements Optimizer.
+// Step implements Optimizer. The velocity update v ← µv + g is the
+// fused ScaleAdd kernel; the parameter update is an AXPY in the classical
+// case and a fused loop for the Nesterov look-ahead and weight-decay
+// variants. Element updates are independent, so splitting the loop into
+// kernel sweeps leaves every result bit unchanged.
 func (o *Momentum) Step(params, grads []float64) {
 	checkLens(params, grads)
 	if o.velocity == nil {
 		o.velocity = make([]float64, len(params))
 	}
-	for i := range params {
-		g := grads[i]
-		if o.WeightDecay != 0 {
-			g += o.WeightDecay * params[i]
-		}
-		v := o.Mu*o.velocity[i] + g
-		o.velocity[i] = v
-		if o.Nesterov {
+	lr, mu, wd := o.LR, o.Mu, o.WeightDecay
+	v := o.velocity
+	switch {
+	case wd == 0 && !o.Nesterov:
+		tensor.ScaleAdd(v, mu, grads)
+		tensor.AXPY(-lr, v, params)
+	case wd == 0: // Nesterov
+		for i, g := range grads {
+			vi := mu*v[i] + g
+			v[i] = vi
 			// Nesterov look-ahead: effective update uses g + mu*v.
-			params[i] -= o.LR * (g + o.Mu*v)
-		} else {
-			params[i] -= o.LR * v
+			params[i] -= lr * (g + mu*vi)
+		}
+	case !o.Nesterov:
+		for i, g := range grads {
+			g += wd * params[i]
+			vi := mu*v[i] + g
+			v[i] = vi
+			params[i] -= lr * vi
+		}
+	default:
+		for i, g := range grads {
+			g += wd * params[i]
+			vi := mu*v[i] + g
+			v[i] = vi
+			params[i] -= lr * (g + mu*vi)
 		}
 	}
 }
@@ -156,18 +181,29 @@ func (o *Adam) Step(params, grads []float64) {
 	o.t++
 	b1c := 1 - math.Pow(o.Beta1, float64(o.t))
 	b2c := 1 - math.Pow(o.Beta2, float64(o.t))
-	for i := range params {
-		g := grads[i]
-		if o.WeightDecay != 0 && !o.Decoupled {
-			g += o.WeightDecay * params[i]
+	// Hoist the weight-decay mode out of the element loop; the moment and
+	// update expressions are unchanged from the scalar reference.
+	b1, b2, lr, eps := o.Beta1, o.Beta2, o.LR, o.Eps
+	coupledWD, decoupledWD := 0.0, 0.0
+	if o.WeightDecay != 0 {
+		if o.Decoupled {
+			decoupledWD = o.WeightDecay
+		} else {
+			coupledWD = o.WeightDecay
 		}
-		o.m[i] = o.Beta1*o.m[i] + (1-o.Beta1)*g
-		o.v[i] = o.Beta2*o.v[i] + (1-o.Beta2)*g*g
-		mhat := o.m[i] / b1c
-		vhat := o.v[i] / b2c
-		params[i] -= o.LR * mhat / (math.Sqrt(vhat) + o.Eps)
-		if o.WeightDecay != 0 && o.Decoupled {
-			params[i] -= o.LR * o.WeightDecay * params[i]
+	}
+	m, v := o.m, o.v
+	for i, g := range grads {
+		if coupledWD != 0 {
+			g += coupledWD * params[i]
+		}
+		mi := b1*m[i] + (1-b1)*g
+		vi := b2*v[i] + (1-b2)*g*g
+		m[i] = mi
+		v[i] = vi
+		params[i] -= lr * (mi / b1c) / (math.Sqrt(vi/b2c) + eps)
+		if decoupledWD != 0 {
+			params[i] -= lr * decoupledWD * params[i]
 		}
 	}
 }

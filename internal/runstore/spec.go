@@ -21,9 +21,14 @@ import (
 
 // SpecVersion gates cache compatibility: it is baked into every spec
 // hash, so bumping it after a semantics change (record fields, seed
-// derivation, workload generation) invalidates all prior entries
-// instead of silently serving stale bytes.
-const SpecVersion = 1
+// derivation, workload generation, training numerics) invalidates all
+// prior entries instead of silently serving stale bytes.
+//
+// v2: the fused-kernel overhaul (DESIGN.md §7) regrouped the conv
+// input-gradient accumulation, perturbing training trajectories at the
+// last ulp — stores written by v1 binaries describe runs the current
+// binary cannot reproduce bit-for-bit.
+const SpecVersion = 2
 
 // Spec canonically identifies one sweep cell — a single training run
 // plus its record extraction. It must contain every input the records

@@ -265,7 +265,14 @@ func (s *Sketcher) Sketch(v []float64) *Sketch {
 // M2 returns the median-of-rows estimate of ‖v‖² for the sketched vector
 // (the M2(sk(v)) estimator of §3.1).
 func M2(sk *Sketch) float64 {
-	rowEst := make([]float64, sk.L)
+	return M2Into(sk, make([]float64, sk.L))
+}
+
+// M2Into is M2 with a caller-provided scratch slice of length ≥ sk.L, so
+// per-step estimators (SketchFDA evaluates M2 every global step) can run
+// allocation-free. scratch is clobbered.
+func M2Into(sk *Sketch, scratch []float64) float64 {
+	rowEst := scratch[:sk.L]
 	for i := 0; i < sk.L; i++ {
 		row := sk.Data[i*sk.M : (i+1)*sk.M]
 		rowEst[i] = tensor.SquaredNorm(row)

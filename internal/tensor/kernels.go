@@ -1,0 +1,260 @@
+// Fused numeric kernels for the training hot path.
+//
+// Every kernel in this file preserves the left-to-right reduction order of
+// the scalar reference loops in vec.go/mat.go: unrolled bodies feed a
+// single accumulator in index order, and blocked loops visit the reduction
+// dimension monotonically for every output element. That property is what
+// keeps results bit-identical across parallelism settings (the PR 1
+// determinism contract): a kernel is free to restructure *memory access*,
+// never *floating-point association*. kernels_test.go pins each kernel to
+// its scalar reference with exact (==) comparisons.
+package tensor
+
+// dotUnrolled is the shared body of Dot: a 4-way unrolled product loop
+// feeding one accumulator strictly left to right. The :i+4 capacity hints
+// let the compiler drop bounds checks in the unrolled body.
+func dotUnrolled(a, b []float64) float64 {
+	var s float64
+	n := len(a)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		s += aa[0] * bb[0]
+		s += aa[1] * bb[1]
+		s += aa[2] * bb[2]
+		s += aa[3] * bb[3]
+	}
+	for ; i < n; i++ {
+		s += a[i] * b[i]
+	}
+	return s
+}
+
+// axpyUnrolled is the shared body of AXPY: y += alpha*x, 4-way unrolled.
+// Elements are independent, so unrolling only removes loop overhead and
+// cannot change any result bit.
+func axpyUnrolled(alpha float64, x, y []float64) {
+	n := len(y)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		xx := x[i : i+4 : i+4]
+		yy := y[i : i+4 : i+4]
+		yy[0] += alpha * xx[0]
+		yy[1] += alpha * xx[1]
+		yy[2] += alpha * xx[2]
+		yy[3] += alpha * xx[3]
+	}
+	for ; i < n; i++ {
+		y[i] += alpha * x[i]
+	}
+}
+
+// SubThenSquaredNorm stores a−b into dst and returns ‖dst‖², fusing the
+// Sub and SquaredNorm passes of the drift computation u = w − w0,
+// ‖u‖² into one sweep. The sum accumulates left to right, so the result
+// equals SquaredNorm(dst) after Sub(dst, a, b) bit for bit. dst may alias
+// a or b.
+func SubThenSquaredNorm(dst, a, b []float64) float64 {
+	checkLen("SubThenSquaredNorm", a, b)
+	checkLen("SubThenSquaredNorm", dst, a)
+	var s float64
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		aa := a[i : i+4 : i+4]
+		bb := b[i : i+4 : i+4]
+		dd := dst[i : i+4 : i+4]
+		d0 := aa[0] - bb[0]
+		dd[0] = d0
+		s += d0 * d0
+		d1 := aa[1] - bb[1]
+		dd[1] = d1
+		s += d1 * d1
+		d2 := aa[2] - bb[2]
+		dd[2] = d2
+		s += d2 * d2
+		d3 := aa[3] - bb[3]
+		dd[3] = d3
+		s += d3 * d3
+	}
+	for ; i < n; i++ {
+		d := a[i] - b[i]
+		dst[i] = d
+		s += d * d
+	}
+	return s
+}
+
+// AXPYTo stores y + alpha*x into dst without touching x or y. dst may
+// alias x or y; each element is written once.
+func AXPYTo(dst []float64, alpha float64, x, y []float64) {
+	checkLen("AXPYTo", x, y)
+	checkLen("AXPYTo", dst, x)
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		xx := x[i : i+4 : i+4]
+		yy := y[i : i+4 : i+4]
+		dd := dst[i : i+4 : i+4]
+		dd[0] = yy[0] + alpha*xx[0]
+		dd[1] = yy[1] + alpha*xx[1]
+		dd[2] = yy[2] + alpha*xx[2]
+		dd[3] = yy[3] + alpha*xx[3]
+	}
+	for ; i < n; i++ {
+		dst[i] = y[i] + alpha*x[i]
+	}
+}
+
+// ScaleAdd computes v = c*v + x in place — the momentum-velocity update
+// kernel v ← µv + g as one sweep instead of Scale followed by Add.
+func ScaleAdd(v []float64, c float64, x []float64) {
+	checkLen("ScaleAdd", v, x)
+	n := len(v)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		vv := v[i : i+4 : i+4]
+		xx := x[i : i+4 : i+4]
+		vv[0] = c*vv[0] + xx[0]
+		vv[1] = c*vv[1] + xx[1]
+		vv[2] = c*vv[2] + xx[2]
+		vv[3] = c*vv[3] + xx[3]
+	}
+	for ; i < n; i++ {
+		v[i] = c*v[i] + x[i]
+	}
+}
+
+// Accumulate computes dst += src (an AXPY with alpha 1, without the
+// multiplication), 4-way unrolled; the col2im scatter kernel.
+func Accumulate(dst, src []float64) {
+	checkLen("Accumulate", dst, src)
+	n := len(dst)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		ss := src[i : i+4 : i+4]
+		dd := dst[i : i+4 : i+4]
+		dd[0] += ss[0]
+		dd[1] += ss[1]
+		dd[2] += ss[2]
+		dd[3] += ss[3]
+	}
+	for ; i < n; i++ {
+		dst[i] += src[i]
+	}
+}
+
+// Sum returns the left-to-right sum of v (the conv bias-gradient kernel).
+func Sum(v []float64) float64 {
+	var s float64
+	n := len(v)
+	i := 0
+	for ; i+4 <= n; i += 4 {
+		vv := v[i : i+4 : i+4]
+		s += vv[0]
+		s += vv[1]
+		s += vv[2]
+		s += vv[3]
+	}
+	for ; i < n; i++ {
+		s += v[i]
+	}
+	return s
+}
+
+// AXPY4 computes y += a0*x0 + a1*x1 + a2*x2 + a3*x3 in one sweep — the
+// quad-tap convolution kernel: one load/store of y per four taps instead
+// of four. Each element's partial sums chain in argument order, so the
+// result is bit-identical to four sequential AXPY calls.
+func AXPY4(a0, a1, a2, a3 float64, x0, x1, x2, x3, y []float64) {
+	checkLen("AXPY4", x0, y)
+	checkLen("AXPY4", x1, y)
+	checkLen("AXPY4", x2, y)
+	checkLen("AXPY4", x3, y)
+	// Reslice to the common length so the compiler can drop the per-index
+	// bounds checks in the fused loop.
+	n := len(y)
+	x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+	for i := range y {
+		s := y[i] + a0*x0[i]
+		s += a1 * x1[i]
+		s += a2 * x2[i]
+		s += a3 * x3[i]
+		y[i] = s
+	}
+}
+
+// Dot4 returns the four inner products <a, x0..3> in one sweep over a —
+// the quad-tap weight-gradient kernel. Each accumulator runs strictly
+// left to right, bit-identical to four separate Dot calls.
+func Dot4(a, x0, x1, x2, x3 []float64) (s0, s1, s2, s3 float64) {
+	checkLen("Dot4", a, x0)
+	checkLen("Dot4", a, x1)
+	checkLen("Dot4", a, x2)
+	checkLen("Dot4", a, x3)
+	n := len(a)
+	x0, x1, x2, x3 = x0[:n], x1[:n], x2[:n], x3[:n]
+	for i, av := range a {
+		s0 += av * x0[i]
+		s1 += av * x1[i]
+		s2 += av * x2[i]
+		s3 += av * x3[i]
+	}
+	return
+}
+
+// AXPY4x2 is the register-blocked 2×4 convolution micro-kernel: it
+// computes ya += a0*x0+…+a3*x3 and yb += b0*x0+…+b3*x3 in one sweep,
+// loading each shared x element once for both destinations. Each
+// destination's partial sums chain in tap order, bit-identical to two
+// AXPY4 calls.
+func AXPY4x2(a0, a1, a2, a3, b0, b1, b2, b3 float64, x0, x1, x2, x3, ya, yb []float64) {
+	checkLen("AXPY4x2", x0, ya)
+	checkLen("AXPY4x2", x1, ya)
+	checkLen("AXPY4x2", x2, ya)
+	checkLen("AXPY4x2", x3, ya)
+	checkLen("AXPY4x2", yb, ya)
+	n := len(ya)
+	x0, x1, x2, x3, yb = x0[:n], x1[:n], x2[:n], x3[:n], yb[:n]
+	for i := range ya {
+		v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
+		s := ya[i] + a0*v0
+		s += a1 * v1
+		s += a2 * v2
+		s += a3 * v3
+		ya[i] = s
+		t := yb[i] + b0*v0
+		t += b1 * v1
+		t += b2 * v2
+		t += b3 * v3
+		yb[i] = t
+	}
+}
+
+// Dot4x2 is the 2×4 weight-gradient micro-kernel: the eight inner
+// products of {a, b} against {x0..x3}, loading each shared x element once.
+// Every accumulator runs strictly left to right, bit-identical to eight
+// separate Dot calls.
+func Dot4x2(a, b, x0, x1, x2, x3 []float64) (s0, s1, s2, s3, t0, t1, t2, t3 float64) {
+	checkLen("Dot4x2", a, b)
+	checkLen("Dot4x2", a, x0)
+	checkLen("Dot4x2", a, x1)
+	checkLen("Dot4x2", a, x2)
+	checkLen("Dot4x2", a, x3)
+	n := len(a)
+	b, x0, x1, x2, x3 = b[:n], x0[:n], x1[:n], x2[:n], x3[:n]
+	for i, av := range a {
+		v0, v1, v2, v3 := x0[i], x1[i], x2[i], x3[i]
+		bv := b[i]
+		s0 += av * v0
+		s1 += av * v1
+		s2 += av * v2
+		s3 += av * v3
+		t0 += bv * v0
+		t1 += bv * v1
+		t2 += bv * v2
+		t3 += bv * v3
+	}
+	return
+}

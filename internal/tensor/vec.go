@@ -65,31 +65,25 @@ func Scale(v []float64, c float64) {
 	}
 }
 
-// AXPY computes y += alpha*x in place.
+// AXPY computes y += alpha*x in place. The body is 4-way unrolled
+// (kernels.go); element updates are independent, so the result is
+// bit-identical to the scalar loop.
 func AXPY(alpha float64, x, y []float64) {
 	checkLen("AXPY", x, y)
-	for i := range y {
-		y[i] += alpha * x[i]
-	}
+	axpyUnrolled(alpha, x, y)
 }
 
-// Dot returns the inner product <a, b>.
+// Dot returns the inner product <a, b>, accumulated left to right (4-way
+// unrolled into a single accumulator, so the sum order — and therefore
+// every result bit — matches the scalar loop).
 func Dot(a, b []float64) float64 {
 	checkLen("Dot", a, b)
-	var s float64
-	for i := range a {
-		s += a[i] * b[i]
-	}
-	return s
+	return dotUnrolled(a, b)
 }
 
-// SquaredNorm returns ||v||_2^2.
+// SquaredNorm returns ||v||_2^2, accumulated left to right.
 func SquaredNorm(v []float64) float64 {
-	var s float64
-	for _, x := range v {
-		s += x * x
-	}
-	return s
+	return dotUnrolled(v, v)
 }
 
 // Norm returns ||v||_2.
