@@ -1,11 +1,30 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race allocs bench
+.PHONY: check build fmt vet test race allocs bench apicheck apigen
 
-# check is the CI gate: formatting, static analysis, the full test suite
-# under the race detector, the zero-allocation regressions (which must
-# run without -race, where they self-skip), and a benchmark smoke.
-check: fmt vet race allocs bench
+# check is the CI gate: formatting, static analysis, the public-API
+# surface diff, the full test suite under the race detector, the
+# zero-allocation regressions (which must run without -race, where they
+# self-skip), and a benchmark smoke.
+check: fmt vet apicheck race allocs bench
+
+# The public surface of the fda package is pinned in docs/fda-api.txt
+# (a go doc -all dump). apicheck fails when a change alters it without
+# regenerating the golden file (make apigen), so API breaks are always
+# an explicit, reviewed diff — never a silent side effect.
+apicheck:
+	@$(GO) doc -all ./fda > .fda-api.tmp || { rm -f .fda-api.tmp; exit 1; }
+	@if ! diff -u docs/fda-api.txt .fda-api.tmp; then \
+		rm -f .fda-api.tmp; \
+		echo "public fda API changed; review the diff above and run 'make apigen'"; \
+		exit 1; \
+	fi
+	@rm -f .fda-api.tmp
+
+apigen:
+	@mkdir -p docs
+	@$(GO) doc -all ./fda > docs/fda-api.txt
+	@echo "wrote docs/fda-api.txt"
 
 # The AllocsPerRun assertions guard the steady-state zero-allocation
 # contract (DESIGN.md §7); race instrumentation allocates, so they skip

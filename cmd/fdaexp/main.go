@@ -19,11 +19,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/buildinfo"
@@ -42,6 +46,7 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (1 = sequential; output is identical at any setting)")
 		storeDir = flag.String("store", "", "run-registry directory: cache every grid cell's records there and reuse cached cells")
 		resume   = flag.Bool("resume", false, "resume from the run registry (implies -store "+defaultStoreDir+" when -store is not set)")
+		progress = flag.Bool("progress", false, "print one line per grid cell as the sweep executes")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -56,7 +61,26 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fdaexp: unknown scale %q\n", *scale)
 		os.Exit(1)
 	}
-	o := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout, Jobs: *jobs}
+	// Ctrl-C cancels the sweep between grid cells; with -store, the cells
+	// that completed are persisted, so rerunning with -resume picks up
+	// exactly where the cancellation landed.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
+	o := experiments.Options{Scale: sc, Seed: *seed, Out: os.Stdout, Jobs: *jobs, Ctx: ctx}
+	if *progress {
+		var mu sync.Mutex
+		o.Events = func(ce experiments.CellEvent) {
+			mu.Lock()
+			defer mu.Unlock()
+			src := "ran"
+			if ce.Cached {
+				src = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "[cell %d/%d %s] %s %s K=%d theta=%g\n",
+				ce.Index+1, ce.Total, src, ce.Spec.Model, ce.Spec.Strategy, ce.Spec.K, ce.Spec.Theta)
+		}
+	}
 
 	if *resume && *storeDir == "" {
 		*storeDir = defaultStoreDir
@@ -84,6 +108,14 @@ func main() {
 	for _, name := range names {
 		start := time.Now()
 		if _, err := experiments.Run(name, o); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "fdaexp: %s cancelled", name)
+				if o.Store != nil {
+					fmt.Fprintf(os.Stderr, "; completed cells are in %s (rerun with -resume)", *storeDir)
+				}
+				fmt.Fprintln(os.Stderr)
+				os.Exit(130)
+			}
 			fmt.Fprintf(os.Stderr, "fdaexp: %v\n", err)
 			os.Exit(1)
 		}

@@ -9,12 +9,19 @@
 //	fdarun -model vgg16s -strategy FedAdam -k 10 -target 0.96
 //	fdarun -model lenet5s -strategy LinearFDA -theta 0.05 -het label0
 //	fdarun -model lenet5s -strategy SketchFDA -theta 0.05 -async -speeds 1,1,1,0.5,0.25
+//	fdarun -model lenet5s -strategy LinearFDA -progress        # live sync/eval events
+//
+// Runs execute as a cancellable session: Ctrl-C stops between steps and
+// prints the partial summary.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
@@ -41,6 +48,7 @@ func main() {
 		async    = flag.Bool("async", false, "run the asynchronous (coordinator) FDA variant")
 		speeds   = flag.String("speeds", "", "comma-separated per-worker speeds for -async")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "goroutines for the worker/eval loops (1 = sequential; results are bit-identical; no effect with -async, whose coordinator runner is sequential)")
+		progress = flag.Bool("progress", false, "print live sync/eval events while the run executes")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -78,6 +86,11 @@ func main() {
 		cfg.SyncCodec = fda.Quantize{Bits: *qbits}
 	}
 
+	// Ctrl-C cancels the run between steps; the session machinery makes
+	// that a clean stop with a partial summary instead of a hard kill.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+
 	if *async {
 		ac := fda.AsyncConfig{Config: cfg, Theta: th, UseSketch: *strategy == "SketchFDA"}
 		if *speeds != "" {
@@ -89,9 +102,12 @@ func main() {
 				ac.Speeds = append(ac.Speeds, v)
 			}
 		}
-		res, err := fda.RunAsync(ac)
-		if err != nil {
+		res, err := fda.RunAsyncContext(ctx, ac, progressSink(*progress))
+		if err != nil && !errors.Is(err, context.Canceled) {
 			fatal(err)
+		}
+		if err != nil {
+			fmt.Println("cancelled; partial result:")
 		}
 		fmt.Println(res.Result)
 		fmt.Printf("per-worker steps: %v  virtual time: %.1f\n", res.StepsPerWorker, res.VirtualTime)
@@ -136,9 +152,19 @@ func main() {
 		}
 	}
 
-	res, err := fda.Run(cfg, strat)
+	sess, err := fda.NewSession(ctx, cfg, strat)
 	if err != nil {
 		fatal(err)
+	}
+	if sink := progressSink(*progress); sink != nil {
+		sess.Subscribe(sink)
+	}
+	res, err := sess.Run()
+	if err != nil && !errors.Is(err, context.Canceled) {
+		fatal(err)
+	}
+	if err != nil {
+		fmt.Printf("cancelled at step %d; partial result:\n", sess.StepCount())
 	}
 	fmt.Println(res)
 	fmt.Println("history:")
@@ -149,6 +175,29 @@ func main() {
 	for _, prof := range []fda.NetworkProfile{fda.ProfileFL, fda.ProfileBalanced, fda.ProfileHPC} {
 		bits := float64(res.CommBytes) * 8
 		fmt.Printf("est. comm time on %-9s %.2fs\n", prof.Name+":", bits/prof.BandwidthBps)
+	}
+}
+
+// progressSink returns an event sink printing live sync/eval progress
+// lines to stderr, or nil when -progress is off. Step events are
+// skipped: at thousands of steps per run they would swamp the terminal
+// without adding signal over the sync/eval cadence.
+func progressSink(enabled bool) fda.EventSink {
+	if !enabled {
+		return nil
+	}
+	return func(e fda.Event) {
+		switch ev := e.(type) {
+		case fda.SyncEvent:
+			fmt.Fprintf(os.Stderr, "[sync %3d] step=%4d trigger=%s bytes=%d total=%d\n",
+				ev.SyncCount, ev.Step, ev.Trigger, ev.SyncBytes, ev.TotalBytes)
+		case fda.EvalEvent:
+			fmt.Fprintf(os.Stderr, "[eval] step=%4d epoch=%5.1f acc=%.4f comm=%.4fGB syncs=%d\n",
+				ev.Point.Step, ev.Point.Epoch, ev.Point.TestAcc,
+				float64(ev.Point.CommBytes)/1e9, ev.Point.SyncCount)
+		case fda.DoneEvent:
+			fmt.Fprintf(os.Stderr, "[done] %s\n", ev.Result.String())
+		}
 	}
 }
 

@@ -1,26 +1,41 @@
 // Command fdaserve exposes the experiment suite as an HTTP service
-// backed by the content-addressed run registry: submit a run spec, poll
-// its status, fetch its records, and browse the cached-run catalog.
-// Because every grid cell persists in the registry, repeated or
-// previously interrupted specs cost only the cells the store does not
-// yet hold (DESIGN.md §6).
+// backed by the content-addressed run registry: submit a figure sweep
+// or a single training session, watch its progress live over SSE,
+// cancel it, fetch its records, and browse the cached-run catalog.
+// Every grid cell persists in the registry and every cancelled training
+// session checkpoints its full state, so repeated or interrupted
+// submissions cost only the work the store does not yet hold
+// (DESIGN.md §6, §8).
 //
 //	fdaserve -store runs.d -addr :8080
 //
 //	curl -s localhost:8080/v1/experiments
 //	curl -s -X POST localhost:8080/v1/runs -d '{"experiment":"fig3","scale":"tiny","seed":1}'
+//	curl -s -X POST localhost:8080/v1/train -d '{"model":"lenet5s","strategy":"LinearFDA","steps":400}'
 //	curl -s localhost:8080/v1/runs/r1
+//	curl -N  localhost:8080/v1/runs/r1/events     # live progress (SSE)
+//	curl -s -X DELETE localhost:8080/v1/runs/r1   # cancel (resumable)
 //	curl -s localhost:8080/v1/runs/r1/records
 //	curl -s localhost:8080/v1/runs/r1/output
 //	curl -s localhost:8080/v1/store
+//
+// The server shuts down gracefully on SIGINT/SIGTERM: in-flight run
+// contexts are cancelled (training sessions write resume checkpoints,
+// sweeps keep their persisted cells), the listener drains, and the job
+// journal is flushed.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/runstore"
@@ -45,10 +60,40 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fdaserve: opening store: %v\n", err)
 		os.Exit(1)
 	}
-	s := newServer(st, *jobs)
+
+	// baseCtx parents every job; the signal handler cancels it so every
+	// in-flight run winds down (and checkpoints) before the process exits.
+	baseCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := newServer(st, *jobs, baseCtx)
+	srv := &http.Server{
+		Addr:    *addr,
+		Handler: s.routes(),
+		// Slow-client hardening: a connection that never finishes its
+		// headers cannot pin a handler goroutine forever. No overall
+		// write timeout — the SSE endpoint streams indefinitely.
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
 	fmt.Printf("fdaserve: listening on %s, store %s\n", *addr, *storeDir)
-	if err := http.ListenAndServe(*addr, s.routes()); err != nil {
+
+	select {
+	case err := <-errc:
 		fmt.Fprintf(os.Stderr, "fdaserve: %v\n", err)
 		os.Exit(1)
+	case <-baseCtx.Done():
 	}
+
+	fmt.Fprintln(os.Stderr, "fdaserve: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "fdaserve: shutdown: %v\n", err)
+	}
+	// Job contexts are children of baseCtx, already cancelled; drain
+	// waits for their goroutines to checkpoint and record final status.
+	s.drain()
 }

@@ -1,11 +1,15 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
 	"strings"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
@@ -14,14 +18,23 @@ import (
 
 // server is the experiment service: it accepts run specs over HTTP,
 // executes them through the registry's store-aware scheduler, and
-// serves status, records and the cached-run catalog. Identical specs
-// dedupe onto one job, and every completed grid cell lands in the run
-// registry, so resubmitting a finished (or killed) spec costs only the
-// cells the store does not yet hold.
+// serves status, records, live event streams and the cached-run
+// catalog. Identical specs dedupe onto one job, every completed grid
+// cell lands in the run registry, and every job runs under its own
+// context — so a run can be cancelled mid-flight (DELETE), watched live
+// (SSE), and resumed after an interruption at the cost of only the work
+// the store does not yet hold.
 type server struct {
 	store *runstore.Store
 	// jobs is the per-sweep cell parallelism (par.Resolve convention).
 	jobs int
+	// baseCtx parents every job context; cancelling it (graceful
+	// shutdown) cancels all in-flight runs.
+	baseCtx context.Context
+	// journal records job status transitions in the store directory.
+	journal *journal
+	// wg tracks in-flight job goroutines for shutdown draining.
+	wg sync.WaitGroup
 
 	mu     sync.Mutex
 	byID   map[string]*job
@@ -30,28 +43,58 @@ type server struct {
 	nextID int
 }
 
-func newServer(store *runstore.Store, jobs int) *server {
+func newServer(store *runstore.Store, jobs int, baseCtx context.Context) *server {
+	if baseCtx == nil {
+		baseCtx = context.Background()
+	}
 	return &server{
-		store: store,
-		jobs:  jobs,
-		byID:  map[string]*job{},
-		byKey: map[string]*job{},
+		store:   store,
+		jobs:    jobs,
+		baseCtx: baseCtx,
+		journal: openJournal(store.Dir()),
+		byID:    map[string]*job{},
+		byKey:   map[string]*job{},
 	}
 }
 
-// job is one submitted sweep.
+// drain waits for every in-flight job to finish (used after the base
+// context is cancelled) and flushes the journal.
+func (s *server) drain() {
+	s.wg.Wait()
+	s.journal.close()
+}
+
+// Job status values. Transitions: running → done | failed | cancelled.
+const (
+	statusRunning   = "running"
+	statusDone      = "done"
+	statusFailed    = "failed"
+	statusCancelled = "cancelled"
+)
+
+// job is one submitted run: a figure sweep or a single training session.
 type job struct {
 	ID         string
-	Experiment string
+	Kind       string // "sweep" or "train"
+	Experiment string // sweep: experiment name; train: model name
 	Scale      string
 	Seed       uint64
+	key        string
 
-	stats *experiments.SweepStats
-	out   *lockedBuffer
-	done  chan struct{}
+	stats  *experiments.SweepStats
+	out    *lockedBuffer
+	done   chan struct{}
+	cancel context.CancelFunc
+	events *broker
+
+	// Train-job live counters (atomics so status polls don't contend
+	// with the stepping goroutine).
+	steps   atomic.Int64
+	syncs   atomic.Int64
+	resumed atomic.Bool
 
 	mu     sync.Mutex
-	status string // "running", "done" or "failed"
+	status string
 	errMsg string
 	result any
 }
@@ -59,40 +102,68 @@ type job struct {
 // jobView is the status representation shared by every endpoint.
 type jobView struct {
 	ID         string `json:"id"`
+	Kind       string `json:"kind"`
 	Experiment string `json:"experiment"`
-	Scale      string `json:"scale"`
+	Scale      string `json:"scale,omitempty"`
 	Seed       uint64 `json:"seed"`
 	Status     string `json:"status"`
 	Error      string `json:"error,omitempty"`
-	// Cells/Cached/Executed track grid progress live while running.
-	Cells    int64 `json:"cells"`
-	Cached   int64 `json:"cached"`
-	Executed int64 `json:"executed"`
+	// Cells/Cached/Executed track grid progress live while a sweep runs.
+	Cells    int64 `json:"cells,omitempty"`
+	Cached   int64 `json:"cached,omitempty"`
+	Executed int64 `json:"executed,omitempty"`
+	// Steps/Syncs track a training session live; Resumed reports that it
+	// continued from a checkpoint of an earlier interrupted submission.
+	Steps   int64 `json:"steps,omitempty"`
+	Syncs   int64 `json:"syncs,omitempty"`
+	Resumed bool  `json:"resumed,omitempty"`
 }
 
 func (j *job) view() jobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return jobView{
-		ID: j.ID, Experiment: j.Experiment, Scale: j.Scale, Seed: j.Seed,
+	v := jobView{
+		ID: j.ID, Kind: j.Kind, Experiment: j.Experiment, Scale: j.Scale, Seed: j.Seed,
 		Status: j.status, Error: j.errMsg,
-		Cells:    j.stats.Cells.Load(),
-		Cached:   j.stats.Cached.Load(),
-		Executed: j.stats.Executed.Load(),
 	}
+	if j.stats != nil {
+		v.Cells = j.stats.Cells.Load()
+		v.Cached = j.stats.Cached.Load()
+		v.Executed = j.stats.Executed.Load()
+	}
+	if j.Kind == "train" {
+		v.Steps = j.steps.Load()
+		v.Syncs = j.syncs.Load()
+		v.Resumed = j.resumed.Load()
+	}
+	return v
+}
+
+// setStatus records a terminal transition and journals it.
+func (s *server) setStatus(j *job, status, errMsg string, result any) {
+	j.mu.Lock()
+	j.status, j.errMsg = status, errMsg
+	if result != nil {
+		j.result = result
+	}
+	j.mu.Unlock()
+	s.journal.record(j.view())
 }
 
 // routes builds the API surface:
 //
-//	GET  /healthz                 liveness
-//	GET  /v1/version              build information
-//	GET  /v1/experiments          registered runners
-//	GET  /v1/store                cached-run manifests
-//	GET  /v1/runs                 submitted jobs
-//	POST /v1/runs                 submit {"experiment","scale","seed"}
-//	GET  /v1/runs/{id}            poll one job
-//	GET  /v1/runs/{id}/records    fetch a finished job's records
-//	GET  /v1/runs/{id}/output     fetch the rendered tables/plots
+//	GET    /healthz                 liveness
+//	GET    /v1/version              build information
+//	GET    /v1/experiments          registered runners
+//	GET    /v1/store                cached-run manifests
+//	GET    /v1/runs                 submitted jobs
+//	POST   /v1/runs                 submit a sweep {"experiment","scale","seed"}
+//	POST   /v1/train                submit a training session (see trainRequest)
+//	GET    /v1/runs/{id}            poll one job
+//	DELETE /v1/runs/{id}            cancel one job (it becomes resumable)
+//	GET    /v1/runs/{id}/events     live progress as Server-Sent Events
+//	GET    /v1/runs/{id}/records    fetch a finished job's records
+//	GET    /v1/runs/{id}/output     fetch the rendered tables/plots
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
@@ -105,7 +176,10 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/store", s.handleStore)
 	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
 	mux.HandleFunc("POST /v1/runs", s.handleSubmit)
+	mux.HandleFunc("POST /v1/train", s.handleTrain)
 	mux.HandleFunc("GET /v1/runs/{id}", s.handleRun)
+	mux.HandleFunc("DELETE /v1/runs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/runs/{id}/records", s.handleRecords)
 	mux.HandleFunc("GET /v1/runs/{id}/output", s.handleOutput)
 	return mux
@@ -175,46 +249,72 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := fmt.Sprintf("%s|%s|%d", req.Experiment, req.Scale, req.Seed)
+	key := fmt.Sprintf("sweep|%s|%s|%d", req.Experiment, req.Scale, req.Seed)
+	j, ctx, existing := s.createJob(key, func(j *job) {
+		j.Kind = "sweep"
+		j.Experiment = req.Experiment
+		j.Scale = req.Scale
+		j.Seed = req.Seed
+		j.stats = &experiments.SweepStats{}
+	})
+	if existing {
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	s.wg.Add(1)
+	go s.executeSweep(j, scale, ctx)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// createJob registers a new job under key — wired to a fresh child
+// context of baseCtx before it becomes visible to other handlers, so a
+// concurrent DELETE always finds a live cancel function — or returns
+// the existing job when a live (running/done) one already owns the key.
+// Failed and cancelled jobs give way to a retry, which re-executes only
+// the work the registry (or a session checkpoint) lacks.
+func (s *server) createJob(key string, init func(*job)) (*job, context.Context, bool) {
 	s.mu.Lock()
 	if j, ok := s.byKey[key]; ok {
-		// Running and completed jobs dedupe; a failed job gives way to a
-		// retry (which re-executes only the cells the registry lacks).
-		if j.view().Status != "failed" {
+		st := j.view().Status
+		if st != statusFailed && st != statusCancelled {
 			s.mu.Unlock()
-			writeJSON(w, http.StatusOK, j.view())
-			return
+			return j, nil, true
 		}
 	}
 	s.nextID++
 	j := &job{
-		ID:         fmt.Sprintf("r%d", s.nextID),
-		Experiment: req.Experiment,
-		Scale:      req.Scale,
-		Seed:       req.Seed,
-		stats:      &experiments.SweepStats{},
-		out:        &lockedBuffer{},
-		done:       make(chan struct{}),
-		status:     "running",
+		ID:     fmt.Sprintf("r%d", s.nextID),
+		key:    key,
+		out:    &lockedBuffer{},
+		done:   make(chan struct{}),
+		events: newBroker(),
+		status: statusRunning,
 	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	j.cancel = cancel
+	init(j)
 	s.byID[j.ID] = j
 	s.byKey[key] = j
 	s.order = append(s.order, j.ID)
+	view := j.view()
 	s.mu.Unlock()
-
-	go s.execute(j, scale)
-	writeJSON(w, http.StatusAccepted, j.view())
+	// Journal disk I/O happens outside s.mu so a slow disk cannot stall
+	// every status poll behind a submission.
+	s.journal.record(view)
+	return j, ctx, false
 }
 
-// execute runs the sweep; the store-aware scheduler inside the runner
-// serves every already-cached cell from disk.
-func (s *server) execute(j *job, scale experiments.Scale) {
+// executeSweep runs a figure sweep under ctx; the store-aware scheduler
+// inside the runner serves every already-cached cell from disk, and
+// cancellation (DELETE or shutdown) stops it between cells, so the
+// persisted cells fund the next submission of the same spec.
+func (s *server) executeSweep(j *job, scale experiments.Scale, ctx context.Context) {
+	defer s.wg.Done()
+	defer j.events.close()
 	defer close(j.done)
 	defer func() {
 		if r := recover(); r != nil {
-			j.mu.Lock()
-			j.status, j.errMsg = "failed", fmt.Sprintf("panic: %v", r)
-			j.mu.Unlock()
+			s.setStatus(j, statusFailed, fmt.Sprintf("panic: %v", r), nil)
 		}
 	}()
 	res, err := experiments.Run(j.Experiment, experiments.Options{
@@ -224,14 +324,26 @@ func (s *server) execute(j *job, scale experiments.Scale) {
 		Jobs:  s.jobs,
 		Store: s.store,
 		Stats: j.stats,
+		Ctx:   ctx,
+		Events: func(ce experiments.CellEvent) {
+			j.events.publish("cell", map[string]any{
+				"index":  ce.Index,
+				"total":  ce.Total,
+				"cached": ce.Cached,
+				"model":  ce.Spec.Model,
+				"k":      ce.Spec.K,
+				"theta":  ce.Spec.Theta,
+			})
+		},
 	})
-	j.mu.Lock()
-	defer j.mu.Unlock()
-	if err != nil {
-		j.status, j.errMsg = "failed", err.Error()
-		return
+	switch {
+	case err == nil:
+		s.setStatus(j, statusDone, "", res)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.setStatus(j, statusCancelled, err.Error(), nil)
+	default:
+		s.setStatus(j, statusFailed, err.Error(), nil)
 	}
-	j.status, j.result = "done", res
 }
 
 func (s *server) job(r *http.Request) (*job, bool) {
@@ -250,6 +362,76 @@ func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view())
 }
 
+// handleCancel implements DELETE /v1/runs/{id}: the job's context is
+// cancelled, the handler waits for the run goroutine to wind down
+// (sweeps stop between cells, training sessions between steps — saving
+// a resume checkpoint), and the final view (status "cancelled") is
+// returned. Cancelling a finished job is a no-op conflict.
+func (s *server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	if st := j.view().Status; st != statusRunning {
+		writeError(w, http.StatusConflict, "run already "+st)
+		return
+	}
+	j.cancel()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		writeError(w, http.StatusRequestTimeout, "cancellation requested; run still draining")
+		return
+	}
+	writeJSON(w, http.StatusOK, j.view())
+}
+
+// handleEvents implements GET /v1/runs/{id}/events as Server-Sent
+// Events: an initial "status" event, then the job's live progress
+// ("cell" for sweep cells; "step", "sync", "eval" for training
+// sessions), a terminal "done"/"status" event, and EOF. Events are a
+// live feed, not a replay log: progress emitted before the subscription
+// is summarized by the initial status snapshot, and a slow consumer may
+// have intermediate events dropped rather than stall the run.
+func (s *server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.job(r)
+	if !ok {
+		writeError(w, http.StatusNotFound, "no such run")
+		return
+	}
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, "streaming unsupported")
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+
+	// Subscribe before the snapshot so no event between the two is lost.
+	ch, unsub := j.events.subscribe()
+	defer unsub()
+	writeSSE(w, "status", j.view())
+	fl.Flush()
+
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case msg, ok := <-ch:
+			if !ok {
+				// Broker closed: the run finished. Emit the terminal view.
+				writeSSE(w, "status", j.view())
+				fl.Flush()
+				return
+			}
+			fmt.Fprintf(w, "event: %s\ndata: %s\n\n", msg.event, msg.data)
+			fl.Flush()
+		}
+	}
+}
+
 func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	j, ok := s.job(r)
 	if !ok {
@@ -260,10 +442,10 @@ func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	status, result := j.status, j.result
 	j.mu.Unlock()
 	switch status {
-	case "running":
+	case statusRunning:
 		writeError(w, http.StatusConflict, "run still executing; poll /v1/runs/"+j.ID)
-	case "failed":
-		writeError(w, http.StatusConflict, "run failed; see /v1/runs/"+j.ID)
+	case statusFailed, statusCancelled:
+		writeError(w, http.StatusConflict, "run "+status+"; see /v1/runs/"+j.ID)
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "records": result})
 	}
@@ -291,6 +473,15 @@ func writeError(w http.ResponseWriter, code int, msg string) {
 	writeJSON(w, code, map[string]string{"error": msg})
 }
 
+// writeSSE emits one Server-Sent Event with a JSON payload.
+func writeSSE(w http.ResponseWriter, event string, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		data = []byte(fmt.Sprintf("%q", err.Error()))
+	}
+	fmt.Fprintf(w, "event: %s\ndata: %s\n\n", event, data)
+}
+
 // lockedBuffer lets status endpoints read a job's rendered output while
 // the runner is still writing it.
 type lockedBuffer struct {
@@ -309,3 +500,115 @@ func (l *lockedBuffer) String() string {
 	defer l.mu.Unlock()
 	return l.b.String()
 }
+
+// broker fans a job's progress events out to SSE subscribers. Publishing
+// never blocks the run: a subscriber whose buffer is full misses that
+// event (SSE consumers resynchronize from status snapshots).
+type broker struct {
+	mu     sync.Mutex
+	subs   map[chan sseMsg]struct{}
+	closed bool
+}
+
+type sseMsg struct {
+	event string
+	data  string
+}
+
+func newBroker() *broker {
+	return &broker{subs: map[chan sseMsg]struct{}{}}
+}
+
+// publish marshals v once and offers it to every subscriber. With no
+// subscribers it returns before encoding anything, so an unwatched
+// training run pays one mutex round-trip per event, not a JSON encode.
+func (b *broker) publish(event string, v any) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if len(b.subs) == 0 {
+		return
+	}
+	data, err := json.Marshal(v)
+	if err != nil {
+		return
+	}
+	msg := sseMsg{event: event, data: string(data)}
+	for ch := range b.subs {
+		select {
+		case ch <- msg:
+		default: // slow subscriber: drop rather than stall the run
+		}
+	}
+}
+
+// subscribe registers a consumer; the returned channel closes when the
+// job finishes. unsub is idempotent and safe after close.
+func (b *broker) subscribe() (<-chan sseMsg, func()) {
+	ch := make(chan sseMsg, 256)
+	b.mu.Lock()
+	if b.closed {
+		close(ch)
+		b.mu.Unlock()
+		return ch, func() {}
+	}
+	b.subs[ch] = struct{}{}
+	b.mu.Unlock()
+	return ch, func() {
+		b.mu.Lock()
+		if _, ok := b.subs[ch]; ok {
+			delete(b.subs, ch)
+		}
+		b.mu.Unlock()
+	}
+}
+
+// close ends the stream for every subscriber.
+func (b *broker) close() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.closed {
+		return
+	}
+	b.closed = true
+	for ch := range b.subs {
+		close(ch)
+	}
+	b.subs = map[chan sseMsg]struct{}{}
+}
+
+// journal appends job status transitions to <store>/jobs.jsonl so an
+// operator (or the server itself after a restart) can see which runs
+// were interrupted — the discovery half of checkpoint-backed resume.
+// Journal writes are advisory: a failure disables the journal but never
+// a run.
+type journal struct {
+	mu   sync.Mutex
+	path string
+	bad  bool
+}
+
+type journalEntry struct {
+	Time time.Time `json:"time"`
+	jobView
+}
+
+func openJournal(dir string) *journal {
+	return &journal{path: dir + "/jobs.jsonl"}
+}
+
+func (jn *journal) record(v jobView) {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.bad {
+		return
+	}
+	line, err := json.Marshal(journalEntry{Time: time.Now().UTC(), jobView: v})
+	if err != nil {
+		return
+	}
+	if err := appendLine(jn.path, line); err != nil {
+		jn.bad = true
+	}
+}
+
+func (jn *journal) close() {}

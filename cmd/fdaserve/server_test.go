@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"fmt"
 	"net/http"
@@ -19,7 +20,7 @@ func testServer(t *testing.T, dir string) *httptest.Server {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(st, 2).routes())
+	ts := httptest.NewServer(newServer(st, 2, context.Background()).routes())
 	t.Cleanup(ts.Close)
 	return ts
 }

@@ -1,0 +1,302 @@
+package main
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+)
+
+// This file implements single-run training sessions as first-class
+// server jobs: POST /v1/train starts a core.Session, its typed events
+// stream over the job's SSE endpoint, DELETE cancels it between steps
+// and writes a full-state checkpoint into the store directory, and
+// resubmitting the same spec restores that checkpoint and continues
+// bit-identically to a run that was never interrupted (the session
+// resume contract, pinned by TestTrainCancelResumeExact).
+
+// trainRequest is the POST /v1/train body.
+type trainRequest struct {
+	// Model is a zoo model name (lenet5s, vgg16s, ...). Required.
+	Model string `json:"model"`
+	// Strategy is the synchronization policy. Required.
+	Strategy string `json:"strategy"`
+	// Theta is the variance threshold for the FDA variants; 0 selects
+	// the model's default grid entry.
+	Theta float64 `json:"theta"`
+	// Tau is the round length for LocalSGD (default 10).
+	Tau int `json:"tau"`
+	// K, Batch, Steps, EvalEvery, Target, Het and Seed mirror the
+	// fdarun flags; zero values take the documented defaults.
+	K         int     `json:"k"`
+	Batch     int     `json:"batch"`
+	Steps     int     `json:"steps"`
+	EvalEvery int     `json:"eval_every"`
+	Target    float64 `json:"target"`
+	Het       string  `json:"het"`
+	Seed      uint64  `json:"seed"`
+}
+
+func (t *trainRequest) withDefaults() {
+	if t.Theta == 0 {
+		if spec, err := models.ByName(t.Model); err == nil && len(spec.ThetaGrid) > 1 {
+			t.Theta = spec.ThetaGrid[1]
+		}
+	}
+	if t.Tau == 0 {
+		t.Tau = 10
+	}
+	if t.K == 0 {
+		t.K = 5
+	}
+	if t.Batch == 0 {
+		t.Batch = 32
+	}
+	if t.Steps == 0 {
+		t.Steps = 200
+	}
+	if t.EvalEvery == 0 {
+		t.EvalEvery = 20
+	}
+	if t.Het == "" {
+		t.Het = "iid"
+	}
+	if t.Seed == 0 {
+		t.Seed = 1
+	}
+}
+
+// key canonically identifies the training spec for dedupe and for the
+// resume checkpoint's content address.
+func (t trainRequest) canonicalKey() string {
+	return fmt.Sprintf("train|%s|%s|%g|%d|%d|%d|%d|%d|%g|%s|%d",
+		t.Model, t.Strategy, t.Theta, t.Tau, t.K, t.Batch, t.Steps, t.EvalEvery, t.Target, t.Het, t.Seed)
+}
+
+// trainStrategyFor builds the requested strategy; FedOpt variants bind
+// their round length to cfg exactly as fdarun does.
+func trainStrategyFor(req trainRequest, cfg core.Config) (core.Strategy, error) {
+	switch req.Strategy {
+	case "LinearFDA":
+		return core.NewLinearFDA(req.Theta), nil
+	case "SketchFDA":
+		return core.NewSketchFDA(req.Theta), nil
+	case "OracleFDA":
+		return core.NewOracleFDA(req.Theta), nil
+	case "Synchronous":
+		return core.NewSynchronous(), nil
+	case "LocalSGD":
+		return core.NewLocalSGD(req.Tau), nil
+	case "FedAvg":
+		return core.NewFedAvgFor(cfg, 1), nil
+	case "FedAvgM":
+		return core.NewFedAvgMFor(cfg, 1), nil
+	case "FedAdam":
+		return core.NewFedAdamFor(cfg, 1), nil
+	default:
+		return nil, fmt.Errorf("unknown strategy %q", req.Strategy)
+	}
+}
+
+// trainHet parses the heterogeneity selector (iid, label<Y>, pct<X>,
+// dir<alpha>), mirroring the fdarun flag grammar.
+func trainHet(s string) (data.Heterogeneity, error) {
+	switch {
+	case s == "" || s == "iid":
+		return data.IID(), nil
+	case strings.HasPrefix(s, "label"):
+		y, err := strconv.Atoi(strings.TrimPrefix(s, "label"))
+		if err != nil {
+			return data.Heterogeneity{}, fmt.Errorf("bad het %q", s)
+		}
+		return data.NonIIDLabel(y, 2), nil
+	case strings.HasPrefix(s, "pct"):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(s, "pct"), 64)
+		if err != nil {
+			return data.Heterogeneity{}, fmt.Errorf("bad het %q", s)
+		}
+		return data.NonIIDPercent(x), nil
+	case strings.HasPrefix(s, "dir"):
+		a, err := strconv.ParseFloat(strings.TrimPrefix(s, "dir"), 64)
+		if err != nil {
+			return data.Heterogeneity{}, fmt.Errorf("bad het %q", s)
+		}
+		return data.NonIIDDirichlet(a), nil
+	default:
+		return data.Heterogeneity{}, fmt.Errorf("unknown het %q", s)
+	}
+}
+
+// checkpointPath addresses the resume checkpoint of a train spec inside
+// the store directory.
+func (s *server) checkpointPath(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return filepath.Join(s.store.Dir(), "sessions", hex.EncodeToString(sum[:8])+".ckpt")
+}
+
+func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req trainRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return
+	}
+	if req.Model == "" || req.Strategy == "" {
+		writeError(w, http.StatusBadRequest, "model and strategy are required")
+		return
+	}
+	spec, err := models.ByName(req.Model)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	req.withDefaults()
+	het, err := trainHet(req.Het)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	train, test := models.DatasetFor(spec, req.Seed)
+	cfg := core.Config{
+		K: req.K, BatchSize: req.Batch, Seed: req.Seed,
+		Model: spec.Build, Optimizer: spec.Optimizer,
+		Train: train, Test: test,
+		Het:            het,
+		MaxSteps:       req.Steps,
+		EvalEvery:      req.EvalEvery,
+		TargetAccuracy: req.Target,
+		Parallelism:    s.jobs,
+	}
+	// Reject bad configs at the door with the structured field errors,
+	// instead of surfacing them later as a failed job.
+	if err := cfg.Validate(); err != nil {
+		var cerr *core.ConfigError
+		if errors.As(err, &cerr) {
+			fields := make([]map[string]string, 0, len(cerr.Fields))
+			for _, f := range cerr.Fields {
+				fields = append(fields, map[string]string{"field": f.Field, "msg": f.Msg})
+			}
+			writeJSON(w, http.StatusBadRequest, map[string]any{"error": err.Error(), "fields": fields})
+			return
+		}
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	strat, err := trainStrategyFor(req, cfg)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
+	j, ctx, existing := s.createJob(req.canonicalKey(), func(j *job) {
+		j.Kind = "train"
+		j.Experiment = req.Model + "/" + req.Strategy
+		j.Seed = req.Seed
+	})
+	if existing {
+		writeJSON(w, http.StatusOK, j.view())
+		return
+	}
+	s.wg.Add(1)
+	go s.executeTrain(j, cfg, strat, ctx)
+	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// executeTrain drives one core.Session under the job's context,
+// restoring a prior interrupted submission's checkpoint when one exists
+// and writing one when this run is cancelled.
+func (s *server) executeTrain(j *job, cfg core.Config, strat core.Strategy, ctx context.Context) {
+	defer s.wg.Done()
+	defer j.events.close()
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			s.setStatus(j, statusFailed, fmt.Sprintf("panic: %v", r), nil)
+		}
+	}()
+
+	sess, err := core.NewSession(ctx, cfg, strat)
+	if err != nil {
+		s.setStatus(j, statusFailed, err.Error(), nil)
+		return
+	}
+	ckpt := s.checkpointPath(j.key)
+	if snap, err := checkpoint.Load(ckpt); err == nil {
+		if err := sess.Restore(snap); err != nil {
+			// A stale or mismatched checkpoint must not poison the run:
+			// drop it and train from scratch.
+			fmt.Fprintf(os.Stderr, "fdaserve: dropping bad checkpoint %s: %v\n", ckpt, err)
+			os.Remove(ckpt)
+		} else {
+			j.resumed.Store(true)
+			j.steps.Store(int64(sess.StepCount()))
+		}
+	}
+
+	sess.Subscribe(func(e core.Event) {
+		switch ev := e.(type) {
+		case core.StepEvent:
+			j.steps.Store(int64(ev.Step))
+			j.events.publish("step", ev)
+		case core.SyncEvent:
+			j.syncs.Store(int64(ev.SyncCount))
+			j.events.publish("sync", ev)
+		case core.EvalEvent:
+			j.events.publish("eval", ev)
+		case core.DoneEvent:
+			j.events.publish("done", ev)
+		}
+	})
+
+	res, err := sess.Run()
+	switch {
+	case err == nil:
+		os.Remove(ckpt) // the run is complete; nothing left to resume
+		s.setStatus(j, statusDone, "", res)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		if snap, serr := sess.Snapshot(); serr == nil {
+			if werr := saveCheckpoint(ckpt, snap); werr != nil {
+				fmt.Fprintf(os.Stderr, "fdaserve: saving resume checkpoint: %v\n", werr)
+			}
+		} else {
+			fmt.Fprintf(os.Stderr, "fdaserve: snapshotting cancelled session: %v\n", serr)
+		}
+		s.setStatus(j, statusCancelled, err.Error(), nil)
+	default:
+		s.setStatus(j, statusFailed, err.Error(), nil)
+	}
+}
+
+// saveCheckpoint writes snap to path, creating the sessions directory on
+// first use.
+func saveCheckpoint(path string, snap *checkpoint.Snapshot) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	return checkpoint.Save(path, snap)
+}
+
+// appendLine appends one line to path (creating it as needed).
+func appendLine(path string, line []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(append(line, '\n')); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}

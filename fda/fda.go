@@ -10,8 +10,12 @@
 //
 //   - strategies: NewSketchFDA, NewLinearFDA, NewSynchronous, NewLocalSGD,
 //     NewFedAvg/NewFedAvgM/NewFedAdam (and their *For constructors),
-//   - the trainer: Run/MustRun over a Config, and RunAsync for the
-//     coordinator-based asynchronous variant,
+//   - the session API: NewSession over a Config (built as a literal or
+//     with NewConfig and the With* options) returns an incremental,
+//     cancellable, checkpointable run with a typed event stream,
+//   - the batch trainer: Run/MustRun — thin, bit-identical wrappers over
+//     a session — and RunAsync/RunAsyncContext for the coordinator-based
+//     asynchronous variant,
 //   - substrates: neural networks (nn), optimizers (opt), synthetic
 //     datasets and heterogeneity partitioners (data), AMS sketches
 //     (sketch), the simulated cluster (comm), and sync compression
@@ -30,7 +34,14 @@
 //	res := fda.MustRun(cfg, fda.NewLinearFDA(0.05))
 //	fmt.Println(res)
 //
-// See examples/ for complete programs.
+// The same run as an observable session:
+//
+//	sess, err := fda.NewSession(ctx, cfg, fda.NewLinearFDA(0.05))
+//	sess.Subscribe(func(e fda.Event) { ... })   // StepEvent, SyncEvent, EvalEvent, DoneEvent
+//	res, err = sess.Run()                       // or Step() one step at a time
+//
+// See examples/ for complete programs (examples/session walks through
+// events, cancellation and bit-exact checkpoint resume).
 package fda
 
 import (
@@ -49,8 +60,15 @@ import (
 
 // Core training types.
 type (
-	// Config describes one training run; see core.Config.
+	// Config describes one training run; see core.Config. Construct it
+	// as a literal or with NewConfig and the With* options; Validate
+	// reports structured per-field errors.
 	Config = core.Config
+	// FieldError pinpoints one invalid Config field.
+	FieldError = core.FieldError
+	// ConfigError aggregates every invalid field found by
+	// Config.Validate.
+	ConfigError = core.ConfigError
 	// Result summarizes a run's cost and quality.
 	Result = core.Result
 	// Point is one evaluation snapshot of a run.
@@ -68,14 +86,47 @@ type (
 	Env = core.Env
 )
 
+// Session API: an in-flight training run as an incremental object.
+// NewSession validates the config, positions the run before step 1, and
+// hands back a Session that callers Step, observe through typed events,
+// cancel via the context, and checkpoint with Snapshot/Restore. The
+// batch entry points (Run/MustRun/RunAsync) are thin wrappers over the
+// same loop, with bit-identical results. See DESIGN.md §8.
+type (
+	// Session is an incremental, cancellable, resumable training run.
+	Session = core.Session
+	// Event is the typed progress stream element; concrete variants are
+	// StepEvent, SyncEvent, EvalEvent and DoneEvent.
+	Event = core.Event
+	// StepEvent reports one completed training step.
+	StepEvent = core.StepEvent
+	// SyncEvent reports one model synchronization (trigger and bytes).
+	SyncEvent = core.SyncEvent
+	// EvalEvent reports one evaluation of the averaged global model.
+	EvalEvent = core.EvalEvent
+	// DoneEvent carries the finished run's Result.
+	DoneEvent = core.DoneEvent
+	// EventSink consumes session events, synchronously on the stepping
+	// goroutine.
+	EventSink = core.EventSink
+)
+
 // Training entry points.
 var (
+	// NewSession starts an incremental training session under a context.
+	NewSession = core.NewSession
 	// Run executes a training run under a strategy.
 	Run = core.Run
+	// RunContext is Run under a context: cancellation stops between
+	// steps and surfaces the context's error.
+	RunContext = core.RunContext
 	// MustRun is Run that panics on configuration errors.
 	MustRun = core.MustRun
 	// RunAsync executes the coordinator-based asynchronous FDA variant.
 	RunAsync = core.RunAsync
+	// RunAsyncContext is RunAsync on the session event spine: typed
+	// events per local step/sync/eval plus context cancellation.
+	RunAsyncContext = core.RunAsyncContext
 )
 
 // AutoParallelism, assigned to Config.Parallelism (or any Jobs knob),

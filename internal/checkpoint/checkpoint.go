@@ -15,12 +15,20 @@ import (
 	"io"
 	"math"
 	"os"
+	"sort"
 )
 
 // magic identifies the file format; version gates layout changes.
+// Version 1 is the original (step, params, w0) layout; version 2 appends
+// named float64 sections and named uint64 counters, the representation a
+// full training-session snapshot needs (per-worker replicas, optimizer
+// moments, RNG positions, meter totals). Plain snapshots still write
+// version 1, so files produced before sessions existed remain readable
+// and byte-identical.
 const (
-	magic   = 0xFDA0C4EC
-	version = 1
+	magic           = 0xFDA0C4EC
+	version         = 1
+	versionSections = 2
 )
 
 var crcTable = crc64.MakeTable(crc64.ECMA)
@@ -36,6 +44,47 @@ type Snapshot struct {
 	// W0 is the model at the most recent synchronization (may be nil for
 	// plain model checkpoints, in which case it is stored empty).
 	W0 []float64
+	// Sections holds named auxiliary vectors (per-worker replicas,
+	// optimizer moments, history columns). Nil for plain checkpoints.
+	// Serialization is key-sorted, so equal snapshots encode to equal
+	// bytes regardless of map iteration order.
+	Sections map[string][]float64
+	// Counters holds named integer state (RNG positions, step counters,
+	// byte meters). Nil for plain checkpoints.
+	Counters map[string]uint64
+}
+
+// Vec returns a named section (nil when absent).
+func (s *Snapshot) Vec(name string) []float64 {
+	if s.Sections == nil {
+		return nil
+	}
+	return s.Sections[name]
+}
+
+// U64 returns a named counter and whether it was present.
+func (s *Snapshot) U64(name string) (uint64, bool) {
+	if s.Counters == nil {
+		return 0, false
+	}
+	v, ok := s.Counters[name]
+	return v, ok
+}
+
+// AddVec stores a copy of v as a named section.
+func (s *Snapshot) AddVec(name string, v []float64) {
+	if s.Sections == nil {
+		s.Sections = map[string][]float64{}
+	}
+	s.Sections[name] = append([]float64(nil), v...)
+}
+
+// AddU64 stores a named counter.
+func (s *Snapshot) AddU64(name string, v uint64) {
+	if s.Counters == nil {
+		s.Counters = map[string]uint64{}
+	}
+	s.Counters[name] = v
 }
 
 // Write serializes s to w.
@@ -64,10 +113,22 @@ func Write(w io.Writer, s *Snapshot) error {
 		return nil
 	}
 
+	writeStr := func(str string) error {
+		if err := writeU64(uint64(len(str))); err != nil {
+			return err
+		}
+		_, err := out.Write([]byte(str))
+		return err
+	}
+
+	ver := uint64(version)
+	if len(s.Sections) > 0 || len(s.Counters) > 0 {
+		ver = versionSections
+	}
 	if err := writeU64(magic); err != nil {
 		return err
 	}
-	if err := writeU64(version); err != nil {
+	if err := writeU64(ver); err != nil {
 		return err
 	}
 	if err := writeU64(uint64(s.Step)); err != nil {
@@ -78,6 +139,31 @@ func Write(w io.Writer, s *Snapshot) error {
 	}
 	if err := writeVec(s.W0); err != nil {
 		return err
+	}
+	if ver == versionSections {
+		// Key-sorted section and counter tables: deterministic bytes.
+		if err := writeU64(uint64(len(s.Sections))); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(s.Sections) {
+			if err := writeStr(name); err != nil {
+				return err
+			}
+			if err := writeVec(s.Sections[name]); err != nil {
+				return err
+			}
+		}
+		if err := writeU64(uint64(len(s.Counters))); err != nil {
+			return err
+		}
+		for _, name := range sortedKeys(s.Counters) {
+			if err := writeStr(name); err != nil {
+				return err
+			}
+			if err := writeU64(s.Counters[name]); err != nil {
+				return err
+			}
+		}
 	}
 	// Trailer: CRC64 of everything written so far (not itself CRC'd).
 	var buf [8]byte
@@ -128,11 +214,27 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if m != magic {
 		return nil, fmt.Errorf("checkpoint: bad magic %#x", m)
 	}
+	readStr := func() (string, error) {
+		n, err := readU64()
+		if err != nil {
+			return "", err
+		}
+		const maxName = 1 << 16
+		if n > maxName {
+			return "", fmt.Errorf("checkpoint: implausible name length %d", n)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(in, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+
 	ver, err := readU64()
 	if err != nil {
 		return nil, err
 	}
-	if ver != version {
+	if ver != version && ver != versionSections {
 		return nil, fmt.Errorf("checkpoint: unsupported version %d", ver)
 	}
 	step, err := readU64()
@@ -147,6 +249,49 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if err != nil {
 		return nil, err
 	}
+	var sections map[string][]float64
+	var counters map[string]uint64
+	if ver == versionSections {
+		const maxEntries = 1 << 24
+		ns, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if ns > maxEntries {
+			return nil, fmt.Errorf("checkpoint: implausible section count %d", ns)
+		}
+		sections = make(map[string][]float64, ns)
+		for i := uint64(0); i < ns; i++ {
+			name, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			vec, err := readVec()
+			if err != nil {
+				return nil, err
+			}
+			sections[name] = vec
+		}
+		nc, err := readU64()
+		if err != nil {
+			return nil, err
+		}
+		if nc > maxEntries {
+			return nil, fmt.Errorf("checkpoint: implausible counter count %d", nc)
+		}
+		counters = make(map[string]uint64, nc)
+		for i := uint64(0); i < nc; i++ {
+			name, err := readStr()
+			if err != nil {
+				return nil, err
+			}
+			v, err := readU64()
+			if err != nil {
+				return nil, err
+			}
+			counters[name] = v
+		}
+	}
 	want := crc.Sum64()
 	var buf [8]byte
 	if _, err := io.ReadFull(br, buf[:]); err != nil {
@@ -159,7 +304,23 @@ func Read(r io.Reader) (*Snapshot, error) {
 	if len(w0) > 0 {
 		s.W0 = w0
 	}
+	if len(sections) > 0 {
+		s.Sections = sections
+	}
+	if len(counters) > 0 {
+		s.Counters = counters
+	}
 	return s, nil
+}
+
+// sortedKeys returns m's keys in ascending order.
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
 }
 
 // Save writes a snapshot to path atomically (write to a temp file in the

@@ -99,7 +99,7 @@ func TestWrongVersionRejected(t *testing.T) {
 	}
 	data := buf.Bytes()
 	// Layout: bytes [0,8) magic, [8,16) version.
-	binary.LittleEndian.PutUint64(data[8:16], version+1)
+	binary.LittleEndian.PutUint64(data[8:16], versionSections+1)
 	_, err := Read(bytes.NewReader(data))
 	if err == nil {
 		t.Fatal("wrong-version checkpoint accepted")
@@ -216,5 +216,67 @@ func TestRoundTripProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestSectionsRoundTrip: the version-2 layout (named sections and
+// counters) round-trips bit-exactly and deterministically, and plain
+// snapshots keep writing the version-1 bytes.
+func TestSectionsRoundTrip(t *testing.T) {
+	s := sampleSnapshot(32, 8)
+	s.AddVec("w0.params", []float64{1.5, -2.25, 0})
+	s.AddVec("empty", nil)
+	s.AddU64("t", 1234)
+	s.AddU64("meter.b.model", 1<<60)
+
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	first := append([]byte(nil), buf.Bytes()...)
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Vec("w0.params")) != 3 || got.Vec("w0.params")[1] != -2.25 {
+		t.Fatalf("section payload: %+v", got.Sections)
+	}
+	if v, ok := got.U64("meter.b.model"); !ok || v != 1<<60 {
+		t.Fatalf("counter payload: %v %v", v, ok)
+	}
+	if v, ok := got.U64("t"); !ok || v != 1234 {
+		t.Fatalf("counter t: %v %v", v, ok)
+	}
+	if _, ok := got.U64("missing"); ok {
+		t.Fatal("phantom counter")
+	}
+	if got.Vec("nope") != nil {
+		t.Fatal("phantom section")
+	}
+
+	// Determinism: re-encoding the same snapshot yields identical bytes
+	// (sections are key-sorted, not map-ordered).
+	var buf2 bytes.Buffer
+	if err := Write(&buf2, s); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(first, buf2.Bytes()) {
+		t.Fatal("v2 encoding is not deterministic")
+	}
+
+	// A sectioned snapshot corrupted anywhere in the tables is rejected.
+	data := append([]byte(nil), first...)
+	data[len(data)-20] ^= 0x40
+	if _, err := Read(bytes.NewReader(data)); err == nil {
+		t.Fatal("corrupted v2 checkpoint accepted")
+	}
+
+	// Plain snapshots still write version 1.
+	var plain bytes.Buffer
+	if err := Write(&plain, sampleSnapshot(8, 9)); err != nil {
+		t.Fatal(err)
+	}
+	if v := binary.LittleEndian.Uint64(plain.Bytes()[8:16]); v != version {
+		t.Fatalf("plain snapshot wrote version %d", v)
 	}
 }

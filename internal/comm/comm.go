@@ -115,6 +115,37 @@ func (m *Meter) Kinds() []string {
 	return out
 }
 
+// Snapshot returns a copy of the per-kind byte and operation counters,
+// the state a training checkpoint needs so a resumed run's cost
+// accounting continues exactly where it stopped.
+func (m *Meter) Snapshot() (bytes, ops map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	bytes = make(map[string]int64, len(m.bytes))
+	ops = make(map[string]int64, len(m.ops))
+	for k, v := range m.bytes {
+		bytes[k] = v
+	}
+	for k, v := range m.ops {
+		ops[k] = v
+	}
+	return bytes, ops
+}
+
+// Restore overwrites the meter's counters with a Snapshot.
+func (m *Meter) Restore(bytes, ops map[string]int64) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.bytes = make(map[string]int64, len(bytes))
+	m.ops = make(map[string]int64, len(ops))
+	for k, v := range bytes {
+		m.bytes[k] = v
+	}
+	for k, v := range ops {
+		m.ops[k] = v
+	}
+}
+
 // Reset clears all counters.
 func (m *Meter) Reset() {
 	m.mu.Lock()

@@ -117,3 +117,34 @@ func (a *AdaptiveTheta) AfterLocalStep(env *Env, t int) {
 func (a *AdaptiveTheta) ThetaTrace() []float64 {
 	return append([]float64(nil), a.thetaTrace...)
 }
+
+// StateSnapshot implements the session checkpoint contract: the live Θ,
+// the adjustment trace, then the wrapped variant's own state. The fixed
+// two-vector prefix lets RestoreState split the snapshot without knowing
+// the trace length in advance.
+func (a *AdaptiveTheta) StateSnapshot() ([][]float64, []uint64) {
+	vecs := [][]float64{{a.getTheta()}, a.thetaTrace}
+	var counters []uint64
+	if r, ok := a.Inner.(resumable); ok {
+		iv, ic := r.StateSnapshot()
+		vecs = append(vecs, iv...)
+		counters = ic
+	}
+	return vecs, counters
+}
+
+// RestoreState implements the session checkpoint contract.
+func (a *AdaptiveTheta) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) < 2 || len(vecs[0]) != 1 {
+		return fmt.Errorf("core: AdaptiveTheta snapshot shape %d", len(vecs))
+	}
+	a.setTheta(vecs[0][0])
+	a.thetaTrace = append([]float64(nil), vecs[1]...)
+	if r, ok := a.Inner.(resumable); ok {
+		return r.RestoreState(vecs[2:], counters)
+	}
+	if len(vecs) > 2 || len(counters) > 0 {
+		return fmt.Errorf("core: AdaptiveTheta snapshot carries inner state for a stateless variant")
+	}
+	return nil
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 
 	"repro/internal/sketch"
@@ -114,8 +115,26 @@ func (q *eventQueue) pop() stepEvent {
 // broadcast, charged as 2d per worker under the naive model or the ring
 // cost otherwise).
 func RunAsync(ac AsyncConfig) (AsyncResult, error) {
+	return RunAsyncContext(context.Background(), ac, nil)
+}
+
+// RunAsyncContext is RunAsync on the session event spine: the
+// coordinator loop emits the same typed events a lock-step Session does
+// (StepEvent per completed local step — with the moving worker and the
+// virtual clock — SyncEvent per coordinator-led synchronization,
+// EvalEvent per evaluation, DoneEvent at the end) and honors ctx:
+// cancellation stops the virtual clock between events and returns the
+// partial result with ctx's error. A nil sink discards events.
+func RunAsyncContext(ctx context.Context, ac AsyncConfig, sink EventSink) (AsyncResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	emit := sink
+	if emit == nil {
+		emit = func(Event) {}
+	}
 	cfg := ac.Config.withDefaults()
-	if err := cfg.validate(); err != nil {
+	if err := cfg.Validate(); err != nil {
 		return AsyncResult{}, err
 	}
 	if ac.Theta < 0 {
@@ -221,7 +240,22 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 	evalCounter := 0
 	trainLen := float64(cfg.Train.Len())
 
+	// finalize fills the run totals; shared by every exit path (step
+	// budget, virtual-time cap, target reached, cancellation) so a
+	// cancelled run still reports a coherent partial result.
+	finalize := func() {
+		res.Steps = maxInts(res.StepsPerWorker)
+		res.Epochs = float64(totalSteps) * float64(cfg.BatchSize) / trainLen
+		res.CommBytes = cluster.meter.TotalBytes()
+		res.StateBytes = cluster.meter.BytesFor("state")
+		res.ModelBytes = cluster.meter.BytesFor("model")
+	}
+
 	for totalSteps < maxTotal {
+		if err := ctx.Err(); err != nil {
+			finalize()
+			return res, err
+		}
 		ev := q.pop()
 		if ac.MaxVirtualTime > 0 && ev.at > ac.MaxVirtualTime {
 			break
@@ -231,6 +265,7 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 		w.LocalStep(cfg.BatchSize)
 		res.StepsPerWorker[ev.worker]++
 		totalSteps++
+		emit(StepEvent{Step: totalSteps / cfg.K, Worker: ev.worker, VirtualTime: ev.at})
 
 		// Worker → coordinator state upload (one-way, small).
 		computeState(w, latest[ev.worker])
@@ -245,8 +280,16 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 				wk.Net.SetParams(globalParams)
 			}
 			w0 = tensor.Clone(globalParams)
+			prevModelBytes := cluster.meter.BytesFor("model")
 			cluster.meterModelSync()
 			res.SyncCount++
+			emit(SyncEvent{
+				Step:       totalSteps / cfg.K,
+				SyncCount:  res.SyncCount,
+				Trigger:    res.Strategy,
+				SyncBytes:  cluster.meter.BytesFor("model") - prevModelBytes,
+				TotalBytes: cluster.meter.TotalBytes(),
+			})
 			for i := range latest {
 				tensor.Zero(latest[i])
 			}
@@ -263,14 +306,16 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 			tensor.Mean(globalParams, views...)
 			evalNet.SetParams(globalParams)
 			acc := evalNet.Accuracy(cfg.Test)
-			res.History = append(res.History, Point{
+			p := Point{
 				Step:      totalSteps / cfg.K,
 				Epoch:     float64(totalSteps) * float64(cfg.BatchSize) / trainLen,
 				TestAcc:   acc,
 				CommBytes: cluster.meter.TotalBytes(),
 				SyncCount: res.SyncCount,
-			})
+			}
+			res.History = append(res.History, p)
 			res.FinalTestAcc = acc
+			emit(EvalEvent{Point: p})
 			if cfg.TargetAccuracy > 0 && acc >= cfg.TargetAccuracy {
 				res.ReachedTarget = true
 				break
@@ -280,11 +325,8 @@ func RunAsync(ac AsyncConfig) (AsyncResult, error) {
 		q.push(stepEvent{at: ev.at + 1/speeds[ev.worker], worker: ev.worker})
 	}
 
-	res.Steps = maxInts(res.StepsPerWorker)
-	res.Epochs = float64(totalSteps) * float64(cfg.BatchSize) / trainLen
-	res.CommBytes = cluster.meter.TotalBytes()
-	res.StateBytes = cluster.meter.BytesFor("state")
-	res.ModelBytes = cluster.meter.BytesFor("model")
+	finalize()
+	emit(DoneEvent{Result: res.Result})
 	return res, nil
 }
 

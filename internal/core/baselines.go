@@ -176,6 +176,39 @@ func NewFedAdamFor(cfg Config, e int) *FedOpt {
 	return f
 }
 
+// StateSnapshot implements the session checkpoint contract: the server's
+// global model plus the server optimizer's state (momentum or Adam
+// moments), which is what distinguishes a round boundary mid-run from
+// one at initialization.
+func (f *FedOpt) StateSnapshot() ([][]float64, []uint64) {
+	vecs := [][]float64{f.global}
+	var counters []uint64
+	if s, ok := f.ServerOpt.(opt.Snapshotter); ok {
+		sv, sc := s.StateSnapshot()
+		vecs = append(vecs, sv...)
+		counters = sc
+	}
+	return vecs, counters
+}
+
+// RestoreState implements the session checkpoint contract.
+func (f *FedOpt) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) < 1 {
+		return fmt.Errorf("core: FedOpt snapshot carries no global model")
+	}
+	if len(vecs[0]) != len(f.global) {
+		return fmt.Errorf("core: FedOpt global length %d, want %d", len(vecs[0]), len(f.global))
+	}
+	copy(f.global, vecs[0])
+	if s, ok := f.ServerOpt.(opt.Snapshotter); ok {
+		return s.RestoreState(vecs[1:], counters)
+	}
+	if len(vecs) > 1 || len(counters) > 0 {
+		return fmt.Errorf("core: FedOpt snapshot carries server state for a stateless server optimizer")
+	}
+	return nil
+}
+
 // AfterLocalStep implements Strategy.
 func (f *FedOpt) AfterLocalStep(env *Env, t int) {
 	if t%f.roundSteps != 0 {

@@ -91,23 +91,83 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-func (c Config) validate() error {
+// FieldError pinpoints one invalid Config field.
+type FieldError struct {
+	// Field is the Config field name (e.g. "K", "Train").
+	Field string
+	// Msg explains what is wrong with its value.
+	Msg string
+}
+
+// Error implements error.
+func (e FieldError) Error() string { return "core: Config." + e.Field + ": " + e.Msg }
+
+// ConfigError aggregates every invalid field found by Config.Validate,
+// so callers (CLI flag parsing, the fdaserve submit endpoint) can report
+// all problems at once instead of the first.
+type ConfigError struct {
+	Fields []FieldError
+}
+
+// Error implements error.
+func (e *ConfigError) Error() string {
+	msg := "core: invalid Config:"
+	for i, f := range e.Fields {
+		if i > 0 {
+			msg += ";"
+		}
+		msg += " " + f.Field + ": " + f.Msg
+	}
+	return msg
+}
+
+// Validate checks every field of the config and returns nil or a
+// *ConfigError listing each invalid field. Zero values that withDefaults
+// fills (EvalEvery, MaxSteps, Cost) are valid; negative ones are not.
+// Run, NewSession and RunAsync all validate through here, so a config
+// rejected at submission time can never surface later as a panic inside
+// the training loop.
+func (c Config) Validate() error {
+	var fields []FieldError
+	add := func(field, format string, args ...any) {
+		fields = append(fields, FieldError{Field: field, Msg: fmt.Sprintf(format, args...)})
+	}
 	if c.K <= 0 {
-		return fmt.Errorf("core: K = %d", c.K)
+		add("K", "must be positive, got %d", c.K)
 	}
 	if c.BatchSize <= 0 {
-		return fmt.Errorf("core: BatchSize = %d", c.BatchSize)
+		add("BatchSize", "must be positive, got %d", c.BatchSize)
 	}
-	if c.Model == nil || c.Optimizer == nil {
-		return fmt.Errorf("core: Model and Optimizer are required")
+	if c.Model == nil {
+		add("Model", "builder is required")
+	}
+	if c.Optimizer == nil {
+		add("Optimizer", "factory is required")
 	}
 	if c.Train == nil || c.Train.Len() == 0 {
-		return fmt.Errorf("core: empty training set")
+		add("Train", "training set is empty")
 	}
 	if c.Test == nil || c.Test.Len() == 0 {
-		return fmt.Errorf("core: empty test set")
+		add("Test", "test set is empty")
 	}
-	return nil
+	if c.MaxSteps < 0 {
+		add("MaxSteps", "must be non-negative, got %d", c.MaxSteps)
+	}
+	if c.EvalEvery < 0 {
+		add("EvalEvery", "must be non-negative, got %d", c.EvalEvery)
+	}
+	if c.TargetAccuracy < 0 {
+		// Targets above 1 are legal: they mean "never stop early" (the
+		// experiments use them to force full-budget runs).
+		add("TargetAccuracy", "must be non-negative, got %v", c.TargetAccuracy)
+	}
+	if c.Cost.BytesPerParam < 0 {
+		add("Cost", "BytesPerParam must be non-negative, got %d", c.Cost.BytesPerParam)
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	return &ConfigError{Fields: fields}
 }
 
 // Point is one evaluation snapshot along a run.

@@ -190,6 +190,24 @@ func (l *LinearFDA) Init(env *Env) {
 	}
 }
 
+// StateSnapshot implements the session checkpoint contract: ξ is the
+// only cross-step state (the per-step drift states are recomputed).
+func (l *LinearFDA) StateSnapshot() ([][]float64, []uint64) {
+	return [][]float64{l.xi}, nil
+}
+
+// RestoreState implements the session checkpoint contract.
+func (l *LinearFDA) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) != 1 || len(counters) != 0 {
+		return fmt.Errorf("core: LinearFDA snapshot shape %d/%d", len(vecs), len(counters))
+	}
+	if len(vecs[0]) != len(l.xi) {
+		return fmt.Errorf("core: LinearFDA ξ length %d, want %d", len(vecs[0]), len(l.xi))
+	}
+	copy(l.xi, vecs[0])
+	return nil
+}
+
 // AfterLocalStep implements Strategy.
 func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
 	env.ForEachWorker(l.body)

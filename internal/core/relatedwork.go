@@ -71,6 +71,22 @@ func (v *VaryingTauLocalSGD) Init(_ *Env) {
 	v.nextSync = v.Schedule(0)
 }
 
+// StateSnapshot implements the session checkpoint contract: the round
+// index and the next synchronization step.
+func (v *VaryingTauLocalSGD) StateSnapshot() ([][]float64, []uint64) {
+	return nil, []uint64{uint64(v.round), uint64(v.nextSync)}
+}
+
+// RestoreState implements the session checkpoint contract.
+func (v *VaryingTauLocalSGD) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) != 0 || len(counters) != 2 {
+		return fmt.Errorf("core: varying-τ snapshot shape %d/%d", len(vecs), len(counters))
+	}
+	v.round = int(counters[0])
+	v.nextSync = int(counters[1])
+	return nil
+}
+
 // AfterLocalStep implements Strategy.
 func (v *VaryingTauLocalSGD) AfterLocalStep(env *Env, t int) {
 	if t < v.nextSync {
@@ -163,6 +179,21 @@ func (l *LAG) Init(env *Env) {
 		_, sq := w.DriftSquaredNorm(env.W0)
 		l.states[i][0] = sq
 	}
+}
+
+// StateSnapshot implements the session checkpoint contract: the drift
+// magnitude at the last performed round.
+func (l *LAG) StateSnapshot() ([][]float64, []uint64) {
+	return nil, []uint64{math.Float64bits(l.lastNorm)}
+}
+
+// RestoreState implements the session checkpoint contract.
+func (l *LAG) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) != 0 || len(counters) != 1 {
+		return fmt.Errorf("core: LAG snapshot shape %d/%d", len(vecs), len(counters))
+	}
+	l.lastNorm = math.Float64frombits(counters[0])
+	return nil
 }
 
 // AfterLocalStep implements Strategy.

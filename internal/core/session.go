@@ -1,0 +1,524 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/comm"
+	"repro/internal/data"
+	"repro/internal/opt"
+	"repro/internal/tensor"
+)
+
+// Session is an in-flight training run exposed as an incremental,
+// inspectable object: callers advance it one global step at a time with
+// Step, observe typed events (StepEvent, SyncEvent, EvalEvent,
+// DoneEvent) through Subscribe, cancel it through the context passed to
+// NewSession, and capture/replay its complete state with
+// Snapshot/Restore. Run, MustRun and the experiment sweeps are thin
+// loops over a Session, so a session-driven run is bit-identical to the
+// batch API at the same config and seed.
+//
+// A session is single-goroutine: Step, Snapshot and Restore must not be
+// called concurrently. Event sinks run synchronously on the stepping
+// goroutine in subscription order.
+//
+// State machine (DESIGN.md §8): running → done | failed. Context
+// cancellation is not a state — it is observed only between steps, so a
+// cancelled session stays resumable: snapshot it, restore into a fresh
+// session, and the continuation replays the exact trajectory an
+// uninterrupted run would have taken.
+type Session struct {
+	cfg   Config
+	strat Strategy
+	ctx   context.Context
+
+	env          *Env
+	eval         *evaluator
+	globalParams []float64
+	stepBody     func(int, *Worker)
+
+	samplesPerStep float64
+	trainLen       float64
+
+	t         int // last completed global step
+	finished  bool
+	finishErr error
+	res       Result
+	// modelBytesSeen is the model-traffic total as of the last
+	// synchronization, so SyncEvent can report per-sync bytes.
+	modelBytesSeen int64
+
+	sinks []EventSink
+}
+
+// resumable is implemented by strategies that carry cross-step state
+// beyond Env (ξ direction, server optimizer moments, schedule
+// counters...) so Session.Snapshot can capture it. Strategies whose
+// AfterLocalStep is a pure function of (Env, t) — Synchronous, LocalSGD,
+// PostLocalSGD, SketchFDA, OracleFDA — need not implement it.
+//
+// StateSnapshot returns views; the session copies them into the
+// checkpoint before the strategy runs again. RestoreState is called
+// after Init on a freshly built strategy of the same type and must
+// accept exactly the shapes its own StateSnapshot produces.
+type resumable interface {
+	StateSnapshot() (vecs [][]float64, counters []uint64)
+	RestoreState(vecs [][]float64, counters []uint64) error
+}
+
+// NewSession validates cfg, builds the cluster, workers and strategy
+// state exactly as Run does, and returns a session positioned before
+// step 1. The context governs cancellation: once it is done, Step
+// returns its error without advancing. A nil ctx means Background.
+func NewSession(ctx context.Context, cfg Config, strat Strategy) (*Session, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	cfg = cfg.withDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	root := tensor.NewRNG(cfg.Seed)
+
+	// Shared initial model: one reference replica defines w0. The RNG
+	// consumption order below (init replica, partition, then per worker
+	// net + sampler) is the determinism contract shared with the
+	// pre-session trainer loop; reordering it would silently change every
+	// trajectory.
+	initNet := cfg.Model(root.Split())
+	w0 := tensor.Clone(initNet.Params())
+	d := initNet.NumParams()
+
+	shards := cfg.Het.Partition(cfg.Train, cfg.K, root.Split())
+
+	cluster := comm.NewCluster(cfg.K)
+	cluster.Cost = cfg.Cost
+
+	workers := make([]*Worker, cfg.K)
+	for k := range workers {
+		net := cfg.Model(root.Split())
+		net.SetParams(w0)
+		workers[k] = &Worker{
+			ID:      k,
+			Net:     net,
+			Opt:     cfg.Optimizer(),
+			Shard:   shards[k],
+			drift:   make([]float64, d),
+			sampler: data.NewSampler(shards[k], root.Split()),
+		}
+	}
+
+	env := newEnv(cluster, workers)
+	env.Codec = cfg.SyncCodec
+	env.pool = newPool(cfg.Parallelism)
+	strat.Init(env)
+
+	s := &Session{
+		cfg:            cfg,
+		strat:          strat,
+		ctx:            ctx,
+		env:            env,
+		eval:           newEvaluator(env.pool, cfg.Model(root.Split()), cfg.Model, cfg.Seed),
+		globalParams:   make([]float64, d),
+		samplesPerStep: float64(cfg.BatchSize * cfg.K),
+		trainLen:       float64(cfg.Train.Len()),
+		res:            Result{Strategy: strat.Name()},
+	}
+	// Hoisted per-step body: one closure for the whole session, so the
+	// steady-state loop allocates nothing.
+	s.stepBody = func(_ int, w *Worker) { w.LocalStep(cfg.BatchSize) }
+	return s, nil
+}
+
+// Subscribe attaches an event sink. Sinks receive every subsequent event
+// synchronously, in subscription order, on the stepping goroutine.
+func (s *Session) Subscribe(sink EventSink) {
+	s.sinks = append(s.sinks, sink)
+}
+
+func (s *Session) emit(e Event) {
+	for _, sink := range s.sinks {
+		sink(e)
+	}
+}
+
+// Step advances the session by one global step: every worker performs
+// one local update, the strategy decides on synchronization, and — on
+// evaluation steps — the averaged global model is scored. It returns
+// false once the run has finished (the final Result is then available
+// from Result); the error is non-nil when the session's context was
+// cancelled (the session stays resumable) or the model diverged (the
+// session is failed).
+func (s *Session) Step() (bool, error) {
+	if s.finished {
+		return false, s.finishErr
+	}
+	if err := s.ctx.Err(); err != nil {
+		return false, err
+	}
+	if s.t >= s.cfg.MaxSteps {
+		// Only reachable through Restore: a snapshot taken at (or past)
+		// this config's step budget has nothing left to run.
+		s.finish(nil)
+		return false, nil
+	}
+
+	t := s.t + 1
+	prevSyncs := s.env.SyncCount
+	s.env.ForEachWorker(s.stepBody)
+	s.strat.AfterLocalStep(s.env, t)
+	s.t = t
+	s.res.Steps = t
+	s.emit(StepEvent{Step: t, Worker: -1})
+	if s.env.SyncCount > prevSyncs {
+		meter := s.env.Cluster.Meter
+		modelBytes := meter.BytesFor("model")
+		s.emit(SyncEvent{
+			Step:       t,
+			SyncCount:  s.env.SyncCount,
+			Trigger:    s.strat.Name(),
+			SyncBytes:  modelBytes - s.modelBytesSeen,
+			TotalBytes: meter.TotalBytes(),
+		})
+		s.modelBytesSeen = modelBytes
+	}
+
+	if t%s.cfg.EvalEvery == 0 || t == s.cfg.MaxSteps {
+		p := s.evaluate(t)
+		s.res.History = append(s.res.History, p)
+		s.res.FinalTestAcc = p.TestAcc
+		s.emit(EvalEvent{Point: p})
+		if s.cfg.TargetAccuracy > 0 && p.TestAcc >= s.cfg.TargetAccuracy {
+			s.res.ReachedTarget = true
+			s.finish(nil)
+			return false, nil
+		}
+		if !tensor.AllFinite(s.globalParams) {
+			s.finish(fmt.Errorf("core: %s diverged (non-finite parameters) at step %d", s.strat.Name(), t))
+			return false, s.finishErr
+		}
+	}
+	if t >= s.cfg.MaxSteps {
+		s.finish(nil)
+		return false, nil
+	}
+	return true, nil
+}
+
+// evaluate scores the averaged global model at step t.
+func (s *Session) evaluate(t int) Point {
+	s.env.GlobalModel(s.globalParams)
+	p := Point{
+		Step:      t,
+		Epoch:     float64(t) * s.samplesPerStep / s.trainLen,
+		TestAcc:   s.eval.accuracy(s.globalParams, s.cfg.Test),
+		CommBytes: s.env.Cluster.Meter.TotalBytes(),
+		SyncCount: s.env.SyncCount,
+	}
+	if s.cfg.RecordTrainAccuracy {
+		p.TrainAcc = s.eval.accuracy(s.globalParams, s.cfg.Train)
+	}
+	return p
+}
+
+// fillTotals copies the cost totals into the Result, matching the batch
+// Run epilogue bit-for-bit.
+func (s *Session) fillTotals() {
+	meter := s.env.Cluster.Meter
+	s.res.Epochs = float64(s.res.Steps) * s.samplesPerStep / s.trainLen
+	s.res.CommBytes = meter.TotalBytes()
+	s.res.StateBytes = meter.BytesFor("state")
+	s.res.ModelBytes = meter.BytesFor("model")
+	s.res.SyncCount = s.env.SyncCount
+}
+
+// finish seals the session: totals are filled (left zero on divergence,
+// as the batch Run left them) and DoneEvent fires.
+func (s *Session) finish(err error) {
+	s.finished = true
+	s.finishErr = err
+	if err == nil {
+		s.fillTotals()
+	}
+	ev := DoneEvent{Result: s.res}
+	if err != nil {
+		ev.Err = err.Error()
+	}
+	s.emit(ev)
+}
+
+// Run drives the session to completion and returns the final Result —
+// the session-backed equivalent of the batch Run entry point. On
+// cancellation the partial Result carries coherent cost totals for the
+// steps that did run.
+func (s *Session) Run() (Result, error) {
+	for {
+		more, err := s.Step()
+		if err != nil {
+			if !s.finished {
+				// Cancelled, not failed: make the partial result coherent.
+				// (The divergence path keeps zero totals, matching the
+				// pre-session batch trainer.)
+				s.fillTotals()
+			}
+			return s.res, err
+		}
+		if !more {
+			return s.res, nil
+		}
+	}
+}
+
+// Done reports whether the run has finished (successfully or not).
+func (s *Session) Done() bool { return s.finished }
+
+// Err returns the terminal error of a failed session (nil while running
+// or after a successful finish).
+func (s *Session) Err() error { return s.finishErr }
+
+// StepCount returns the number of completed global steps.
+func (s *Session) StepCount() int { return s.t }
+
+// Result returns the run summary accumulated so far; once Done it is
+// the final Result, bit-identical to what Run would have returned.
+func (s *Session) Result() Result { return s.res }
+
+// GlobalModel writes the current averaged global model into dst (live
+// serving helper; measurement only, not charged as communication).
+func (s *Session) GlobalModel(dst []float64) { s.env.GlobalModel(dst) }
+
+// NumParams returns the model dimension d.
+func (s *Session) NumParams() int { return s.env.D }
+
+// Snapshot serializes the session's complete training state — every
+// replica, optimizer moments, sampler and dropout stream positions,
+// synchronization points, cost meters, evaluation history and resumable
+// strategy state — into a version-2 checkpoint. A session restored from
+// it continues bit-identically to one that never stopped. Snapshot must
+// be called between steps (never from an event sink).
+func (s *Session) Snapshot() (*checkpoint.Snapshot, error) {
+	env := s.env
+	snap := &checkpoint.Snapshot{Step: int64(s.t)}
+	snap.Params = make([]float64, env.D)
+	env.GlobalModel(snap.Params)
+	snap.W0 = append([]float64(nil), env.W0...)
+
+	snap.AddU64("k", uint64(s.cfg.K))
+	snap.AddU64("d", uint64(env.D))
+	snap.AddU64("synccount", uint64(env.SyncCount))
+	if env.WPrev != nil {
+		snap.AddVec("wprev", env.WPrev)
+	}
+
+	for k, w := range env.Workers {
+		snap.AddVec(fmt.Sprintf("w%d.params", k), w.Net.Params())
+		snap.AddU64(fmt.Sprintf("w%d.rng", k), w.sampler.RNGState())
+		for i, st := range w.Net.RNGStates() {
+			snap.AddU64(fmt.Sprintf("w%d.netrng.%d", k, i), st)
+		}
+		if snapOpt, ok := w.Opt.(opt.Snapshotter); ok {
+			vecs, counters := snapOpt.StateSnapshot()
+			for i, v := range vecs {
+				snap.AddVec(fmt.Sprintf("w%d.opt.v%d", k, i), v)
+			}
+			for i, c := range counters {
+				snap.AddU64(fmt.Sprintf("w%d.opt.c%d", k, i), c)
+			}
+		} else {
+			return nil, fmt.Errorf("core: optimizer %s does not support snapshots", w.Opt.Name())
+		}
+	}
+
+	bytes, ops := env.Cluster.Meter.Snapshot()
+	for kind, b := range bytes {
+		snap.AddU64("meter.b."+kind, uint64(b))
+	}
+	for kind, o := range ops {
+		snap.AddU64("meter.o."+kind, uint64(o))
+	}
+	snap.AddU64("modelbytesseen", uint64(s.modelBytesSeen))
+
+	s.snapshotHistory(snap)
+
+	if r, ok := s.strat.(resumable); ok {
+		vecs, counters := r.StateSnapshot()
+		snap.AddU64("strat.nv", uint64(len(vecs)))
+		snap.AddU64("strat.nc", uint64(len(counters)))
+		for i, v := range vecs {
+			snap.AddVec(fmt.Sprintf("strat.v%d", i), v)
+		}
+		for i, c := range counters {
+			snap.AddU64(fmt.Sprintf("strat.c%d", i), c)
+		}
+	}
+	return snap, nil
+}
+
+// snapshotHistory stores the evaluation trace as parallel columns.
+// Integer columns are stored as float64 bit patterns, which round-trips
+// any int64 exactly (the checkpoint payload is raw bits).
+func (s *Session) snapshotHistory(snap *checkpoint.Snapshot) {
+	n := len(s.res.History)
+	snap.AddU64("histlen", uint64(n))
+	if n == 0 {
+		return
+	}
+	step := make([]float64, n)
+	epoch := make([]float64, n)
+	testAcc := make([]float64, n)
+	trainAcc := make([]float64, n)
+	commBytes := make([]float64, n)
+	syncCount := make([]float64, n)
+	for i, p := range s.res.History {
+		step[i] = math.Float64frombits(uint64(p.Step))
+		epoch[i] = p.Epoch
+		testAcc[i] = p.TestAcc
+		trainAcc[i] = p.TrainAcc
+		commBytes[i] = math.Float64frombits(uint64(p.CommBytes))
+		syncCount[i] = math.Float64frombits(uint64(p.SyncCount))
+	}
+	snap.AddVec("hist.step", step)
+	snap.AddVec("hist.epoch", epoch)
+	snap.AddVec("hist.testacc", testAcc)
+	snap.AddVec("hist.trainacc", trainAcc)
+	snap.AddVec("hist.commbytes", commBytes)
+	snap.AddVec("hist.synccount", syncCount)
+}
+
+// Restore overwrites the session's state with a snapshot taken from a
+// session of the same Config and strategy type. The session must be
+// freshly built (NewSession, zero steps taken); Restore positions it at
+// the snapshot's step so the next Step call computes step t+1 exactly
+// as the uninterrupted run would have.
+func (s *Session) Restore(snap *checkpoint.Snapshot) error {
+	if s.t != 0 {
+		return fmt.Errorf("core: Restore on a session that has already stepped (t=%d)", s.t)
+	}
+	env := s.env
+	if k, _ := snap.U64("k"); int(k) != s.cfg.K {
+		return fmt.Errorf("core: snapshot has K=%d, session has K=%d", k, s.cfg.K)
+	}
+	if d, _ := snap.U64("d"); int(d) != env.D {
+		return fmt.Errorf("core: snapshot has d=%d, session has d=%d", d, env.D)
+	}
+	if len(snap.W0) != env.D {
+		return fmt.Errorf("core: snapshot w0 length %d, want %d", len(snap.W0), env.D)
+	}
+
+	for k, w := range env.Workers {
+		params := snap.Vec(fmt.Sprintf("w%d.params", k))
+		if len(params) != env.D {
+			return fmt.Errorf("core: snapshot worker %d params length %d, want %d", k, len(params), env.D)
+		}
+		w.Net.SetParams(params)
+		rngState, ok := snap.U64(fmt.Sprintf("w%d.rng", k))
+		if !ok {
+			return fmt.Errorf("core: snapshot missing worker %d sampler state", k)
+		}
+		w.sampler.SetRNGState(rngState)
+		if n := len(w.Net.RNGStates()); n > 0 {
+			states := make([]uint64, n)
+			for i := range states {
+				st, ok := snap.U64(fmt.Sprintf("w%d.netrng.%d", k, i))
+				if !ok {
+					return fmt.Errorf("core: snapshot missing worker %d dropout state %d", k, i)
+				}
+				states[i] = st
+			}
+			w.Net.SetRNGStates(states)
+		}
+		snapOpt, ok := w.Opt.(opt.Snapshotter)
+		if !ok {
+			return fmt.Errorf("core: optimizer %s does not support snapshots", w.Opt.Name())
+		}
+		// The live optimizer's own snapshot declares the expected shapes.
+		liveVecs, liveCounters := snapOpt.StateSnapshot()
+		vecs := make([][]float64, len(liveVecs))
+		for i := range vecs {
+			vecs[i] = snap.Vec(fmt.Sprintf("w%d.opt.v%d", k, i))
+		}
+		counters := make([]uint64, len(liveCounters))
+		for i := range counters {
+			counters[i], _ = snap.U64(fmt.Sprintf("w%d.opt.c%d", k, i))
+		}
+		if err := snapOpt.RestoreState(vecs, counters); err != nil {
+			return fmt.Errorf("core: worker %d optimizer: %w", k, err)
+		}
+	}
+
+	env.restoreSyncPoints(snap.W0, snap.Vec("wprev"))
+	syncs, _ := snap.U64("synccount")
+	env.SyncCount = int(syncs)
+
+	bytes := map[string]int64{}
+	ops := map[string]int64{}
+	for name, v := range snap.Counters {
+		switch {
+		case len(name) > 8 && name[:8] == "meter.b.":
+			bytes[name[8:]] = int64(v)
+		case len(name) > 8 && name[:8] == "meter.o.":
+			ops[name[8:]] = int64(v)
+		}
+	}
+	env.Cluster.Meter.Restore(bytes, ops)
+	seen, _ := snap.U64("modelbytesseen")
+	s.modelBytesSeen = int64(seen)
+
+	if err := s.restoreHistory(snap); err != nil {
+		return err
+	}
+
+	if r, ok := s.strat.(resumable); ok {
+		nv, _ := snap.U64("strat.nv")
+		nc, _ := snap.U64("strat.nc")
+		vecs := make([][]float64, nv)
+		for i := range vecs {
+			vecs[i] = snap.Vec(fmt.Sprintf("strat.v%d", i))
+		}
+		counters := make([]uint64, nc)
+		for i := range counters {
+			counters[i], _ = snap.U64(fmt.Sprintf("strat.c%d", i))
+		}
+		if err := r.RestoreState(vecs, counters); err != nil {
+			return fmt.Errorf("core: strategy state: %w", err)
+		}
+	}
+
+	s.t = int(snap.Step)
+	s.res.Steps = s.t
+	return nil
+}
+
+// restoreHistory rebuilds the evaluation trace from snapshot columns.
+func (s *Session) restoreHistory(snap *checkpoint.Snapshot) error {
+	n64, _ := snap.U64("histlen")
+	n := int(n64)
+	s.res.History = nil
+	if n == 0 {
+		return nil
+	}
+	cols := map[string][]float64{}
+	for _, name := range []string{"hist.step", "hist.epoch", "hist.testacc", "hist.trainacc", "hist.commbytes", "hist.synccount"} {
+		col := snap.Vec(name)
+		if len(col) != n {
+			return fmt.Errorf("core: snapshot history column %s has %d entries, want %d", name, len(col), n)
+		}
+		cols[name] = col
+	}
+	s.res.History = make([]Point, n)
+	for i := range s.res.History {
+		s.res.History[i] = Point{
+			Step:      int(math.Float64bits(cols["hist.step"][i])),
+			Epoch:     cols["hist.epoch"][i],
+			TestAcc:   cols["hist.testacc"][i],
+			TrainAcc:  cols["hist.trainacc"][i],
+			CommBytes: int64(math.Float64bits(cols["hist.commbytes"][i])),
+			SyncCount: int(math.Float64bits(cols["hist.synccount"][i])),
+		}
+	}
+	s.res.FinalTestAcc = s.res.History[n-1].TestAcc
+	return nil
+}

@@ -1,12 +1,6 @@
 package core
 
-import (
-	"fmt"
-
-	"repro/internal/comm"
-	"repro/internal/data"
-	"repro/internal/tensor"
-)
+import "context"
 
 // Strategy is a synchronization policy plugged into the shared trainer
 // loop. Implementations decide, after every lock-step local update, whether
@@ -23,93 +17,24 @@ type Strategy interface {
 
 // Run executes one training run of cfg under the given strategy and
 // returns its cost/quality summary. Runs are deterministic in (cfg, s).
+//
+// Run is a thin wrapper over Session: it builds one and drives it to
+// completion, producing a Result bit-identical to stepping the session
+// manually (or to the pre-session trainer loop — the parity tests pin
+// this).
 func Run(cfg Config, s Strategy) (Result, error) {
-	cfg = cfg.withDefaults()
-	if err := cfg.validate(); err != nil {
+	return RunContext(context.Background(), cfg, s)
+}
+
+// RunContext is Run under a context: cancellation stops the run between
+// global steps and returns the context's error alongside the partial
+// Result accumulated so far.
+func RunContext(ctx context.Context, cfg Config, s Strategy) (Result, error) {
+	sess, err := NewSession(ctx, cfg, s)
+	if err != nil {
 		return Result{}, err
 	}
-	root := tensor.NewRNG(cfg.Seed)
-
-	// Shared initial model: one reference replica defines w0.
-	initNet := cfg.Model(root.Split())
-	w0 := tensor.Clone(initNet.Params())
-	d := initNet.NumParams()
-
-	shards := cfg.Het.Partition(cfg.Train, cfg.K, root.Split())
-
-	cluster := comm.NewCluster(cfg.K)
-	cluster.Cost = cfg.Cost
-
-	workers := make([]*Worker, cfg.K)
-	for k := range workers {
-		net := cfg.Model(root.Split())
-		net.SetParams(w0)
-		workers[k] = &Worker{
-			ID:      k,
-			Net:     net,
-			Opt:     cfg.Optimizer(),
-			Shard:   shards[k],
-			drift:   make([]float64, d),
-			sampler: data.NewSampler(shards[k], root.Split()),
-		}
-	}
-
-	env := newEnv(cluster, workers)
-	env.Codec = cfg.SyncCodec
-	env.pool = newPool(cfg.Parallelism)
-	s.Init(env)
-
-	eval := newEvaluator(env.pool, cfg.Model(root.Split()), cfg.Model, cfg.Seed)
-	globalParams := make([]float64, d)
-
-	res := Result{Strategy: s.Name()}
-	samplesPerStep := float64(cfg.BatchSize * cfg.K)
-	trainLen := float64(cfg.Train.Len())
-
-	evaluate := func(t int) Point {
-		env.GlobalModel(globalParams)
-		p := Point{
-			Step:      t,
-			Epoch:     float64(t) * samplesPerStep / trainLen,
-			TestAcc:   eval.accuracy(globalParams, cfg.Test),
-			CommBytes: cluster.Meter.TotalBytes(),
-			SyncCount: env.SyncCount,
-		}
-		if cfg.RecordTrainAccuracy {
-			p.TrainAcc = eval.accuracy(globalParams, cfg.Train)
-		}
-		return p
-	}
-
-	// Hoisted per-step body: one closure for the whole run, so the
-	// steady-state loop allocates nothing.
-	stepBody := func(_ int, w *Worker) { w.LocalStep(cfg.BatchSize) }
-
-	for t := 1; t <= cfg.MaxSteps; t++ {
-		env.ForEachWorker(stepBody)
-		s.AfterLocalStep(env, t)
-		res.Steps = t
-
-		if t%cfg.EvalEvery == 0 || t == cfg.MaxSteps {
-			p := evaluate(t)
-			res.History = append(res.History, p)
-			res.FinalTestAcc = p.TestAcc
-			if cfg.TargetAccuracy > 0 && p.TestAcc >= cfg.TargetAccuracy {
-				res.ReachedTarget = true
-				break
-			}
-			if !tensor.AllFinite(globalParams) {
-				return res, fmt.Errorf("core: %s diverged (non-finite parameters) at step %d", s.Name(), t)
-			}
-		}
-	}
-
-	res.Epochs = float64(res.Steps) * samplesPerStep / trainLen
-	res.CommBytes = cluster.Meter.TotalBytes()
-	res.StateBytes = cluster.Meter.BytesFor("state")
-	res.ModelBytes = cluster.Meter.BytesFor("model")
-	res.SyncCount = env.SyncCount
-	return res, nil
+	return sess.Run()
 }
 
 // MustRun is Run for tests and examples where a config error is a bug.

@@ -118,6 +118,25 @@ func (e *Env) advanceW0(src []float64) {
 	e.w0Idx = next
 }
 
+// restoreSyncPoints rewinds the (W0, WPrev) bookkeeping to a checkpointed
+// pair. The arenas are laid out exactly as a live run would have them —
+// W0 in arena 0, WPrev (when present) in arena 1 with w0Idx at 0 — so a
+// subsequent advanceW0 recycles the same way an uninterrupted run would.
+func (e *Env) restoreSyncPoints(w0, wPrev []float64) {
+	copy(e.w0Arenas[0], w0)
+	e.W0 = e.w0Arenas[0]
+	e.w0Idx = 0
+	if wPrev == nil {
+		e.WPrev = nil
+		return
+	}
+	if e.w0Arenas[1] == nil {
+		e.w0Arenas[1] = make([]float64, e.D)
+	}
+	copy(e.w0Arenas[1], wPrev)
+	e.WPrev = e.w0Arenas[1]
+}
+
 // scratchD returns the Env's lazily sized d-length measurement scratch.
 func (e *Env) scratchD() []float64 {
 	if e.driftScratch == nil {

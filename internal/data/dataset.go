@@ -127,6 +127,13 @@ func NewSampler(ds *Dataset, rng *tensor.RNG) *Sampler {
 	return &Sampler{ds: ds, rng: rng}
 }
 
+// RNGState exposes the sampler's stream position for checkpointing; a
+// restored sampler with the same dataset and state draws the same batches.
+func (s *Sampler) RNGState() uint64 { return s.rng.State() }
+
+// SetRNGState rewinds the sampler's stream to a captured position.
+func (s *Sampler) SetRNGState(st uint64) { s.rng.SetState(st) }
+
 // Sample fills a batch of size b.
 func (s *Sampler) Sample(b int) Batch {
 	var batch Batch

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+// TestSweepCellEvents: every grid cell announces itself exactly once,
+// computed cells live and cached cells in grid order on the second run.
+func TestSweepCellEvents(t *testing.T) {
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var events []CellEvent
+	o := Options{Scale: Tiny, Seed: 11, Jobs: 2, Store: st, Stats: &SweepStats{},
+		Events: func(ce CellEvent) {
+			mu.Lock()
+			events = append(events, ce)
+			mu.Unlock()
+		}}
+	if _, err := Run("smoke", o); err != nil {
+		t.Fatal(err)
+	}
+	cells := int(o.Stats.Cells.Load())
+	if len(events) != cells {
+		t.Fatalf("%d cell events for %d cells", len(events), cells)
+	}
+	for _, ce := range events {
+		if ce.Cached {
+			t.Fatalf("cold sweep reported cached cell: %+v", ce)
+		}
+		if ce.Total != cells {
+			t.Fatalf("cell event total %d, want %d", ce.Total, cells)
+		}
+	}
+
+	// Warm rerun: every cell is announced as cached, in grid order.
+	events = nil
+	if _, err := Run("smoke", o); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != cells {
+		t.Fatalf("warm rerun: %d events for %d cells", len(events), cells)
+	}
+	for i, ce := range events {
+		if !ce.Cached || ce.Index != i {
+			t.Fatalf("warm rerun event %d: %+v", i, ce)
+		}
+	}
+}
+
+// TestSweepCancellation: cancelling the sweep context mid-grid aborts
+// the runner with the context's error; completed cells persist, so the
+// resumed sweep computes only the remainder and its records match an
+// uninterrupted sweep exactly.
+func TestSweepCancellation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := runstore.Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Uninterrupted reference (separate store so nothing is shared).
+	refStore, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Run("smoke", Options{Scale: Tiny, Seed: 13, Store: refStore})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Cancelled sweep: sequential jobs, cancel after the first computed
+	// cell, so exactly one of the two smoke cells lands in the store.
+	ctx, cancel := context.WithCancel(context.Background())
+	stats := &SweepStats{}
+	_, err = Run("smoke", Options{Scale: Tiny, Seed: 13, Jobs: 1, Store: st, Stats: stats, Ctx: ctx,
+		Events: func(CellEvent) { cancel() }})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("cancelled sweep returned %v", err)
+	}
+	if got := stats.Executed.Load(); got != 1 {
+		t.Fatalf("cancelled sweep executed %d cells, want 1", got)
+	}
+
+	// Resume: only the missing cell computes, and the records are
+	// byte-identical to the uninterrupted sweep.
+	resumeStats := &SweepStats{}
+	got, err := Run("smoke", Options{Scale: Tiny, Seed: 13, Jobs: 1, Store: st, Stats: resumeStats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resumeStats.Cached.Load() != 1 || resumeStats.Executed.Load() != 1 {
+		t.Fatalf("resume stats: cached=%d executed=%d, want 1/1",
+			resumeStats.Cached.Load(), resumeStats.Executed.Load())
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("resumed sweep diverged from uninterrupted sweep:\nwant: %+v\ngot:  %+v", want, got)
+	}
+}
+
+// TestSweepPreCancelled: a context that is already done aborts before
+// any cell computes.
+func TestSweepPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	stats := &SweepStats{}
+	_, err := Run("smoke", Options{Scale: Tiny, Seed: 17, Jobs: 1, Stats: stats, Ctx: ctx})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("pre-cancelled sweep returned %v", err)
+	}
+	if got := stats.Executed.Load(); got != 0 {
+		t.Fatalf("pre-cancelled sweep executed %d cells", got)
+	}
+}

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -51,6 +52,16 @@ type Options struct {
 	Seed  uint64
 	// Out receives human-readable tables; nil discards them.
 	Out io.Writer
+	// Ctx, when non-nil, makes the sweep cancellable: once it is done no
+	// new grid cell dispatches (cells already computing finish and
+	// persist to Store), the runner aborts, and Run returns the context's
+	// error. With a Store, resubmitting the same sweep resumes from the
+	// cells that completed.
+	Ctx context.Context
+	// Events, when non-nil, receives one CellEvent per completed grid
+	// cell (live from the worker pool for computed cells — the sink must
+	// be goroutine-safe — and in grid order for cache hits).
+	Events func(CellEvent)
 	// Jobs bounds how many independent sweep cells (training runs) execute
 	// concurrently. 0 (the zero value) and 1 run the grid sequentially;
 	// positive values are taken literally; negative values select

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"os"
 	"sync"
@@ -42,6 +43,26 @@ func (o Options) cellSpec(experiment, model, strategy string, theta float64,
 	}
 }
 
+// CellEvent reports one grid cell's completion during a sweep — the
+// per-cell progress stream behind fdaserve's SSE endpoint and fdaexp's
+// -progress output.
+type CellEvent struct {
+	// Spec canonically identifies the cell.
+	Spec runstore.Spec
+	// Index is the cell's position in its grid; Total the grid size.
+	Index, Total int
+	// Cached reports whether the cell was served from the run registry
+	// instead of computed.
+	Cached bool
+}
+
+// sweepCancelled aborts a runner mid-enumeration when its context is
+// done; Run recovers it into an ordinary error. A panic (rather than a
+// sentinel return value) is deliberate: the figure runners post-process
+// their grids assuming complete results, and cancellation must not hand
+// them partial ones.
+type sweepCancelled struct{ err error }
+
 // runGrid is the store-aware sink every runner emits its cells through:
 // cells already in o.Store load from disk, the rest compute on the job
 // pool and persist before returning. Results come back in grid order
@@ -52,21 +73,53 @@ func runGrid[R any](o Options, specs []runstore.Spec, compute func(i int) []R) [
 	track := compute
 	if o.Stats != nil {
 		o.Stats.Cells.Add(int64(len(specs)))
+	}
+	var computed []atomic.Bool
+	if o.Events != nil {
+		computed = make([]atomic.Bool, len(specs))
+	}
+	if o.Stats != nil || o.Events != nil {
 		track = func(i int) []R {
 			recs := compute(i)
-			o.Stats.Executed.Add(1)
+			if o.Stats != nil {
+				o.Stats.Executed.Add(1)
+			}
+			if o.Events != nil {
+				computed[i].Store(true)
+				o.Events(CellEvent{Spec: specs[i], Index: i, Total: len(specs)})
+			}
 			return recs
 		}
 	}
-	perCell, res, err := runstore.Map(o.Store, o.Jobs, specs, track)
+	perCell, res, err := runstore.MapCtx(o.Ctx, o.Store, o.Jobs, specs, track)
+	if o.Stats != nil {
+		o.Stats.Cached.Add(int64(res.Cached))
+	}
+	cancelled := err != nil && o.Ctx != nil && errors.Is(err, o.Ctx.Err())
+	if o.Events != nil {
+		// Cache hits are announced after the dispatch, in grid order
+		// (computed cells already announced themselves live). On a
+		// completed grid every non-computed cell came from the store —
+		// including legitimately empty ones; on a cancelled grid only
+		// cells with decoded records are known to be cache hits (unvisited
+		// cells stay nil and are not announced).
+		for i := range specs {
+			if computed[i].Load() {
+				continue
+			}
+			if !cancelled || perCell[i] != nil {
+				o.Events(CellEvent{Spec: specs[i], Index: i, Total: len(specs), Cached: true})
+			}
+		}
+	}
 	if err != nil {
+		if cancelled {
+			panic(sweepCancelled{err})
+		}
 		// Persistence failures must not fail (or alter) the sweep: results
 		// are complete, only the cache write was lost. Report off the
 		// record stream so output parity between runs is preserved.
 		fmt.Fprintf(os.Stderr, "experiments: run registry: %v\n", err)
-	}
-	if o.Stats != nil {
-		o.Stats.Cached.Add(int64(res.Cached))
 	}
 	return perCell
 }

@@ -80,11 +80,23 @@ func Lookup(name string) (Runner, bool) {
 }
 
 // Run executes the named experiment and returns its result records.
-func Run(name string, o Options) (any, error) {
+// When o.Ctx is cancelled mid-sweep, Run returns the context's error;
+// cells that completed before the cancellation persisted to o.Store (if
+// set), so a resubmission resumes from them.
+func Run(name string, o Options) (res any, err error) {
 	r, ok := Lookup(name)
 	if !ok {
 		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", name, Names())
 	}
+	defer func() {
+		if rec := recover(); rec != nil {
+			sc, ok := rec.(sweepCancelled)
+			if !ok {
+				panic(rec)
+			}
+			res, err = nil, sc.err
+		}
+	}()
 	return r.Run(o), nil
 }
 

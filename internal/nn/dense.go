@@ -114,6 +114,12 @@ func NewDropout(dim int, rate float64, rng *tensor.RNG) *Dropout {
 	}
 }
 
+// RNGState exposes the mask stream position for checkpointing.
+func (l *Dropout) RNGState() uint64 { return l.rng.State() }
+
+// SetRNGState rewinds the mask stream to a captured position.
+func (l *Dropout) SetRNGState(s uint64) { l.rng.SetState(s) }
+
 func (l *Dropout) InDim() int          { return l.dim }
 func (l *Dropout) OutDim() int         { return l.dim }
 func (l *Dropout) ParamCount() int     { return 0 }

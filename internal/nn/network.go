@@ -56,6 +56,46 @@ func New(rng *tensor.RNG, layers ...Layer) *Network {
 	return n
 }
 
+// stochastic is implemented by layers that consume a private random
+// stream at training time (today: Dropout). Checkpointing walks it so a
+// restored replica replays the exact masks an uninterrupted run would
+// have drawn.
+type stochastic interface {
+	RNGState() uint64
+	SetRNGState(uint64)
+}
+
+// RNGStates returns the stream positions of the network's stochastic
+// layers, in layer order. Deterministic networks return an empty slice.
+func (n *Network) RNGStates() []uint64 {
+	var states []uint64
+	for _, l := range n.layers {
+		if s, ok := l.(stochastic); ok {
+			states = append(states, s.RNGState())
+		}
+	}
+	return states
+}
+
+// SetRNGStates restores stream positions captured by RNGStates. It panics
+// if the count does not match the network's stochastic layers — that
+// means the checkpoint belongs to a different architecture.
+func (n *Network) SetRNGStates(states []uint64) {
+	i := 0
+	for _, l := range n.layers {
+		if s, ok := l.(stochastic); ok {
+			if i >= len(states) {
+				panic("nn: too few RNG states for network")
+			}
+			s.SetRNGState(states[i])
+			i++
+		}
+	}
+	if i != len(states) {
+		panic("nn: too many RNG states for network")
+	}
+}
+
 // NumParams returns the model dimension d.
 func (n *Network) NumParams() int { return len(n.params) }
 

@@ -10,6 +10,7 @@
 package opt
 
 import (
+	"fmt"
 	"math"
 
 	"repro/internal/tensor"
@@ -30,6 +31,23 @@ type Optimizer interface {
 // instance so state (momentum, Adam moments) stays local, as it would on
 // real worker hardware.
 type Factory func() Optimizer
+
+// Snapshotter is implemented by optimizers whose Step depends on
+// accumulated state (moments, step counters). Session checkpointing uses
+// it to capture and restore that state so a resumed run replays the exact
+// update sequence. StateSnapshot returns views into live buffers — the
+// caller must copy before the optimizer steps again. A never-stepped
+// optimizer returns nil vectors of the declared shape; RestoreState
+// accepts either nil (state not yet materialized) or full-length vectors.
+type Snapshotter interface {
+	// StateSnapshot returns the optimizer's state vectors and counters.
+	// The slice shapes are fixed per optimizer type.
+	StateSnapshot() (vecs [][]float64, counters []uint64)
+	// RestoreState overwrites the optimizer's state with a snapshot
+	// previously returned by StateSnapshot on an optimizer of the same
+	// type and dimension.
+	RestoreState(vecs [][]float64, counters []uint64) error
+}
 
 // SGD is plain stochastic gradient descent with optional L2 weight decay.
 type SGD struct {
@@ -59,6 +77,17 @@ func (o *SGD) Step(params, grads []float64) {
 
 // Reset implements Optimizer.
 func (o *SGD) Reset() {}
+
+// StateSnapshot implements Snapshotter: SGD carries no state.
+func (o *SGD) StateSnapshot() ([][]float64, []uint64) { return nil, nil }
+
+// RestoreState implements Snapshotter.
+func (o *SGD) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) != 0 || len(counters) != 0 {
+		return fmt.Errorf("opt: SGD snapshot carries unexpected state")
+	}
+	return nil
+}
 
 // Name implements Optimizer.
 func (o *SGD) Name() string { return "SGD" }
@@ -129,6 +158,21 @@ func (o *Momentum) Step(params, grads []float64) {
 
 // Reset implements Optimizer.
 func (o *Momentum) Reset() { o.velocity = nil }
+
+// StateSnapshot implements Snapshotter: one velocity vector (nil until
+// the first Step) and no counters.
+func (o *Momentum) StateSnapshot() ([][]float64, []uint64) {
+	return [][]float64{o.velocity}, nil
+}
+
+// RestoreState implements Snapshotter.
+func (o *Momentum) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) != 1 || len(counters) != 0 {
+		return fmt.Errorf("opt: momentum snapshot shape %d/%d", len(vecs), len(counters))
+	}
+	o.velocity = cloneOrNil(vecs[0])
+	return nil
+}
 
 // Name implements Optimizer.
 func (o *Momentum) Name() string {
@@ -212,6 +256,33 @@ func (o *Adam) Step(params, grads []float64) {
 func (o *Adam) Reset() {
 	o.m, o.v = nil, nil
 	o.t = 0
+}
+
+// StateSnapshot implements Snapshotter: the two moment vectors (nil until
+// the first Step) and the bias-correction step counter.
+func (o *Adam) StateSnapshot() ([][]float64, []uint64) {
+	return [][]float64{o.m, o.v}, []uint64{uint64(o.t)}
+}
+
+// RestoreState implements Snapshotter.
+func (o *Adam) RestoreState(vecs [][]float64, counters []uint64) error {
+	if len(vecs) != 2 || len(counters) != 1 {
+		return fmt.Errorf("opt: adam snapshot shape %d/%d", len(vecs), len(counters))
+	}
+	o.m = cloneOrNil(vecs[0])
+	o.v = cloneOrNil(vecs[1])
+	o.t = int(counters[0])
+	return nil
+}
+
+// cloneOrNil copies v, mapping empty to nil (state not yet materialized).
+func cloneOrNil(v []float64) []float64 {
+	if len(v) == 0 {
+		return nil
+	}
+	out := make([]float64, len(v))
+	copy(out, v)
+	return out
 }
 
 // Name implements Optimizer.

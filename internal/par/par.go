@@ -12,6 +12,7 @@
 package par
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -34,6 +35,74 @@ func Resolve(knob int) int {
 // goroutines. With one effective worker (or n <= 1) it runs inline on
 // the calling goroutine; otherwise indices are drawn from a shared
 // atomic counter by min(workers, n) goroutines.
+// ForEachCtx is ForEach with cooperative cancellation: once ctx is done,
+// no new index is dispatched. Bodies already running are never
+// interrupted — an index either executes fully or not at all, which is
+// what lets checkpointed sweeps resume without torn cells. It returns
+// ctx.Err() when cancellation preempted at least the dispatch loop, nil
+// when every index ran.
+//
+// The cancellation check sits on the index-draw path only, so a nil or
+// never-cancelled ctx costs one atomic load per index and the execution
+// order (and therefore every result, by the index-addressed determinism
+// contract) is identical to ForEach.
+func ForEachCtx(ctx context.Context, workers, n int, body func(i int)) error {
+	if ctx == nil {
+		ForEach(workers, n, body)
+		return nil
+	}
+	done := ctx.Done()
+	if done == nil {
+		ForEach(workers, n, body)
+		return nil
+	}
+	cancelled := func() bool {
+		select {
+		case <-done:
+			return true
+		default:
+			return false
+		}
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			if cancelled() {
+				return ctx.Err()
+			}
+			body(i)
+		}
+		return nil
+	}
+	var next atomic.Int64
+	var stopped atomic.Bool
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for g := 0; g < workers; g++ {
+		go func() {
+			defer wg.Done()
+			for {
+				if cancelled() {
+					stopped.Store(true)
+					return
+				}
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				body(i)
+			}
+		}()
+	}
+	wg.Wait()
+	if stopped.Load() {
+		return ctx.Err()
+	}
+	return nil
+}
+
 func ForEach(workers, n int, body func(i int)) {
 	if workers > n {
 		workers = n

@@ -1,9 +1,11 @@
 package runstore
 
 import (
+	"context"
 	"encoding/json"
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/par"
 )
@@ -11,7 +13,9 @@ import (
 // MapResult reports how one grid dispatch was satisfied.
 type MapResult struct {
 	// Cells is the grid size, Cached how many cells were served from the
-	// store, Executed how many were computed (Cached + Executed = Cells).
+	// store, Executed how many were computed. On a completed grid
+	// Cached + Executed = Cells; under cancellation Executed counts only
+	// the cells that finished before the context fired.
 	Cells, Cached, Executed int
 }
 
@@ -33,6 +37,18 @@ type MapResult struct {
 // the full grid has been evaluated, so results are complete even when
 // persistence is not.
 func Map[R any](st *Store, jobs int, specs []Spec, compute func(i int) []R) (perCell [][]R, res MapResult, err error) {
+	return MapCtx(context.Background(), st, jobs, specs, compute)
+}
+
+// MapCtx is Map under a context. Cancellation is cooperative and
+// cell-granular: cells already computing finish (and persist), no new
+// cell dispatches, and the returned error is ctx.Err(). Because every
+// completed cell persisted, re-running the same grid later — with the
+// same store — resumes exactly where the cancellation landed.
+func MapCtx[R any](ctx context.Context, st *Store, jobs int, specs []Spec, compute func(i int) []R) (perCell [][]R, res MapResult, err error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	perCell = make([][]R, len(specs))
 	res.Cells = len(specs)
 
@@ -58,18 +74,20 @@ func Map[R any](st *Store, jobs int, specs []Spec, compute func(i int) []R) (per
 		perCell[i] = recs
 	}
 	res.Cached = len(specs) - len(missing)
-	res.Executed = len(missing)
 
 	// Compute pass: only the misses touch the pool. A panicking cell is
 	// captured and re-raised on the calling goroutine after the grid
 	// drains — pool goroutines must never die unrecovered (that would
 	// kill the whole process, e.g. an fdaserve instance, regardless of
 	// any recover installed by the caller), and completed cells keep
-	// their persisted results for the next resume.
+	// their persisted results for the next resume. Executed counts cells
+	// that actually computed, which under cancellation is fewer than the
+	// misses (Cached + Executed = Cells only on a completed grid).
 	var mu sync.Mutex
 	var firstErr error
 	var panicked any
-	par.ForEach(par.Resolve(jobs), len(missing), func(j int) {
+	var executed atomic.Int64
+	ctxErr := par.ForEachCtx(ctx, par.Resolve(jobs), len(missing), func(j int) {
 		defer func() {
 			if r := recover(); r != nil {
 				mu.Lock()
@@ -82,6 +100,7 @@ func Map[R any](st *Store, jobs int, specs []Spec, compute func(i int) []R) (per
 		i := missing[j]
 		recs := compute(i)
 		perCell[i] = recs
+		executed.Add(1)
 		if st == nil {
 			return
 		}
@@ -93,8 +112,14 @@ func Map[R any](st *Store, jobs int, specs []Spec, compute func(i int) []R) (per
 			mu.Unlock()
 		}
 	})
+	res.Executed = int(executed.Load())
 	if panicked != nil {
 		panic(panicked)
+	}
+	if ctxErr != nil {
+		// Cancellation outranks a store-write error: the caller aborted
+		// the sweep and must see that, not a persistence detail.
+		return perCell, res, ctxErr
 	}
 	return perCell, res, firstErr
 }

@@ -1,6 +1,8 @@
 package runstore
 
 import (
+	"context"
+	"errors"
 	"reflect"
 	"sync/atomic"
 	"testing"
@@ -163,5 +165,54 @@ func TestMapEmptyCellCached(t *testing.T) {
 	}
 	if res.Cached != 2 || len(perCell[0]) != 0 || len(perCell[1]) != 1 {
 		t.Fatalf("empty-cell caching broken: %+v %+v", res, perCell)
+	}
+}
+
+// TestMapCtxCancellation: cancelling mid-grid stops new cell dispatches,
+// persists the cells that completed, reports the truth in MapResult, and
+// a rerun over the same store resumes from exactly those cells.
+func TestMapCtxCancellation(t *testing.T) {
+	st, _ := Open(t.TempDir())
+	specs := schedSpecs(5)
+	ctx, cancel := context.WithCancel(context.Background())
+	perCell, res, err := MapCtx(ctx, st, 1, specs, func(i int) []schedRecord {
+		if i == 1 {
+			cancel()
+		}
+		return []schedRecord{{Cell: i}}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v", err)
+	}
+	if res.Executed != 2 || res.Cached != 0 {
+		t.Fatalf("cancelled MapResult: %+v", res)
+	}
+	for i := range specs {
+		want := i < 2
+		if got := perCell[i] != nil; got != want {
+			t.Fatalf("cell %d present=%v after cancellation", i, got)
+		}
+	}
+
+	// Resume: the two persisted cells load from the store, the other
+	// three compute, and the grid result is complete.
+	var computed []int
+	perCell2, res2, err := MapCtx(context.Background(), st, 1, specs, func(i int) []schedRecord {
+		computed = append(computed, i)
+		return []schedRecord{{Cell: i}}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Cached != 2 || res2.Executed != 3 {
+		t.Fatalf("resume MapResult: %+v", res2)
+	}
+	if len(computed) != 3 || computed[0] != 2 {
+		t.Fatalf("resume computed cells %v", computed)
+	}
+	for i := range specs {
+		if len(perCell2[i]) != 1 || perCell2[i][0].Cell != i {
+			t.Fatalf("resume cell %d: %+v", i, perCell2[i])
+		}
 	}
 }

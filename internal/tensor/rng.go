@@ -26,6 +26,16 @@ func NewRNG(seed uint64) *RNG {
 	return &RNG{state: seed}
 }
 
+// State returns the generator's internal state. Together with SetState it
+// lets checkpoints capture and replay the exact stream position, which is
+// what makes a restored training session bit-identical to one that never
+// stopped.
+func (r *RNG) State() uint64 { return r.state }
+
+// SetState rewinds (or fast-forwards) the generator to a state previously
+// obtained from State.
+func (r *RNG) SetState(s uint64) { r.state = s }
+
 // Split derives an independent generator from r. The derived stream is
 // decorrelated from r's future output, which makes it suitable for giving
 // each simulated worker its own stream.
