@@ -52,19 +52,22 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # bench runs the suite once and records a machine-readable report in
-# BENCH_PR3.json (op, ns/op, bytes, custom metrics) so the perf
+# BENCH_PR5.json (op, ns/op, bytes, custom metrics) so the perf
 # trajectory is tracked across PRs (BENCH_PR2.json holds the pre-fused-
-# kernel baseline). The raw text still prints.
+# kernel baseline, BENCH_PR3.json the fused-kernel one). The raw text
+# still prints.
 # Figure/sweep benches run once (each iteration is a whole experiment);
-# the step- and kernel-level benches run 100 iterations so the recorded
-# hot-path numbers are steady-state rather than cold-start noise.
+# the step-, kernel- and fabric-level benches run 100 iterations so the
+# recorded hot-path numbers are steady-state rather than cold-start
+# noise. The Fabric series contrasts the in-process, simulated-network
+# and loopback-TCP AllReduce (ns/op plus charged/wire bytes).
 bench:
 	@$(GO) test -run '^$$' -bench '^Benchmark(Table2|Figure|Ablation|Sweep|RunWorkers)' \
 		-benchtime 1x -benchmem -timeout 0 . > bench.raw.txt \
 		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
-	@$(GO) test -run '^$$' -bench '^Benchmark(LocalStep|Kernel)' \
+	@$(GO) test -run '^$$' -bench '^Benchmark(LocalStep|Kernel|Fabric)' \
 		-benchtime 100x -benchmem -timeout 0 . >> bench.raw.txt \
 		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
-	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR3.json
+	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR5.json
 	@rm -f bench.raw.txt
-	@echo "wrote BENCH_PR3.json"
+	@echo "wrote BENCH_PR5.json"

@@ -1,0 +1,115 @@
+package repro
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"repro/internal/comm"
+)
+
+// --- Fabric benches (the pluggable communication layer, DESIGN.md §9) ---
+//
+// The three backends perform the same reduction over the same K×n
+// inputs; the bench contrasts what each backend adds on top of the
+// arithmetic — nothing (in-process reference), clock modeling (sim), or
+// real framed sockets through the coordinator relay (loopback TCP).
+// Charged bytes per op are reported as a custom metric and are
+// identical across the three by the fabric contract.
+
+const (
+	fabricBenchK = 4
+	fabricBenchN = 4096
+)
+
+func fabricBenchVecs() [][]float64 {
+	return benchVecs(fabricBenchN, fabricBenchK)
+}
+
+func benchInProcessFabric(b *testing.B, fabric comm.Fabric) {
+	b.Helper()
+	vecs := fabricBenchVecs()
+	var rep comm.CostReport
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep = fabric.AllReduce("model", vecs)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Bytes), "charged_B/op")
+}
+
+// BenchmarkFabricAllReduceInProc is the reference backend: pure
+// reduction, no transport.
+func BenchmarkFabricAllReduceInProc(b *testing.B) {
+	benchInProcessFabric(b, comm.NewClusterWithCost(fabricBenchK, comm.DefaultCostModel()))
+}
+
+// BenchmarkFabricAllReduceSim adds the virtual clock (per-link time
+// model) on top of the reference math.
+func BenchmarkFabricAllReduceSim(b *testing.B) {
+	benchInProcessFabric(b, comm.NewSimFabric(fabricBenchK, comm.DefaultCostModel(), comm.ScenarioFedWAN))
+}
+
+// BenchmarkFabricAllReduceTCP runs the collective through real loopback
+// sockets: K fabric clients, framed contributions, coordinator bundle
+// relay, local reduction — the full multi-process wire path per op.
+func BenchmarkFabricAllReduceTCP(b *testing.B) {
+	coord, err := comm.ListenCoordinator("127.0.0.1:0", fabricBenchK)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer coord.Close()
+	serveDone := make(chan error, 1)
+	go func() {
+		_, err := coord.Serve(context.Background(), []byte("{}"))
+		serveDone <- err
+	}()
+
+	fabrics := make([]*comm.TCPFabric, fabricBenchK)
+	for range fabrics {
+		f, _, err := comm.DialFabric(context.Background(), coord.Addr(), comm.DefaultCostModel())
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer f.Close()
+		fabrics[f.Rank()] = f
+	}
+	vecs := fabricBenchVecs()
+
+	// Ranks 1..K−1 run their b.N collectives (and their result frame —
+	// the coordinator acks results only once all K arrive, so every rank
+	// must send its own) on goroutines; rank 0 is timed on the bench
+	// goroutine.
+	rounds := b.N
+	var wg sync.WaitGroup
+	b.ResetTimer()
+	for w := 1; w < fabricBenchK; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			local := [][]float64{vecs[w]}
+			for i := 0; i < rounds; i++ {
+				fabrics[w].AllReduce("model", local)
+			}
+			if err := fabrics[w].SendResult([]byte("ok")); err != nil {
+				b.Error(err)
+			}
+		}(w)
+	}
+	var rep comm.CostReport
+	local := [][]float64{vecs[0]}
+	for i := 0; i < rounds; i++ {
+		rep = fabrics[0].AllReduce("model", local)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(rep.Bytes), "charged_B/op")
+	b.ReportMetric(float64(rep.WireBytes), "wire_B/op")
+
+	if err := fabrics[0].SendResult([]byte("ok")); err != nil {
+		b.Fatal(err)
+	}
+	wg.Wait()
+	if err := <-serveDone; err != nil {
+		b.Fatal(err)
+	}
+}

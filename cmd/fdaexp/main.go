@@ -40,7 +40,7 @@ const defaultStoreDir = "fdaexp-store"
 
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "table2, fig3 … fig13, or all")
+		exp      = flag.String("exp", "all", "table2, fig3 … fig13, smoke, netsweep, or all (= the paper artifacts)")
 		scale    = flag.String("scale", "quick", "tiny, quick or full")
 		seed     = flag.Uint64("seed", 1, "experiment seed")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (1 = sequential; output is identical at any setting)")

@@ -11,6 +11,15 @@
 //	fdarun -model lenet5s -strategy SketchFDA -theta 0.05 -async -speeds 1,1,1,0.5,0.25
 //	fdarun -model lenet5s -strategy LinearFDA -progress        # live sync/eval events
 //
+// The run executes on a pluggable communication fabric:
+//
+//	fdarun -scenario fedwan ...                 # simulated heterogeneous network,
+//	                                            # prints estimated time-to-accuracy
+//	fdarun -coordinator :9000 -k 3 ...          # host a multi-process cluster and wait
+//	                                            # for 3 workers, then train for real
+//	fdarun -worker -connect host:9000           # join as one worker process (rank and
+//	                                            # job spec come from the coordinator)
+//
 // Runs execute as a cancellable session: Ctrl-C stops between steps and
 // prints the partial summary.
 package main
@@ -28,6 +37,8 @@ import (
 
 	"repro/fda"
 	"repro/internal/buildinfo"
+	"repro/internal/comm"
+	"repro/internal/dist"
 )
 
 func main() {
@@ -49,12 +60,68 @@ func main() {
 		speeds   = flag.String("speeds", "", "comma-separated per-worker speeds for -async")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "goroutines for the worker/eval loops (1 = sequential; results are bit-identical; no effect with -async, whose coordinator runner is sequential)")
 		progress = flag.Bool("progress", false, "print live sync/eval events while the run executes")
+		scenario = flag.String("scenario", "", "run on the simulated-network fabric under a named scenario (lan, fedwan, straggler) and report estimated time-to-accuracy")
+		worker   = flag.Bool("worker", false, "join a multi-process cluster as one worker (requires -connect; the coordinator supplies rank and job spec)")
+		connect  = flag.String("connect", "", "coordinator address for -worker")
+		coord    = flag.String("coordinator", "", "host a multi-process cluster on this address (e.g. :9000): wait for -k workers, drive the run, verify and print the result")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
 
 	if *version {
 		fmt.Println(buildinfo.String("fdarun"))
+		return
+	}
+
+	// Worker mode: everything about the run comes from the coordinator.
+	if *worker {
+		if *connect == "" {
+			fatal(errors.New("-worker requires -connect host:port"))
+		}
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		res, rank, err := dist.RunWorker(ctx, *connect, *jobs)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("worker rank %d finished:\n%s\n", rank, res)
+		return
+	}
+
+	// Coordinator mode: no local training — serialize the job spec from
+	// the same flags, rendezvous -k worker processes, relay their
+	// collectives and report the verified cluster result.
+	if *coord != "" {
+		// Refuse rather than silently drop flags the job spec cannot
+		// carry to the workers.
+		if *scenario != "" {
+			fatal(errors.New("-scenario does not combine with -coordinator (the TCP fabric is the transport)"))
+		}
+		if *budget > 0 || *async {
+			fatal(errors.New("-budget and -async are not available in -coordinator mode"))
+		}
+		jspec := dist.JobSpec{
+			Model: *model, Strategy: *strategy, Theta: *theta, Tau: *tau,
+			K: *k, Batch: *batch, Steps: *steps, Target: *target,
+			Het: *het, Seed: *seed, TopK: *topk, QBits: *qbits,
+		}
+		co, err := comm.ListenCoordinator(*coord, *k)
+		if err != nil {
+			fatal(err)
+		}
+		defer co.Close()
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+		defer stop()
+		fmt.Printf("coordinating %d workers on %s (start them with: fdarun -worker -connect <host>%s)\n",
+			*k, co.Addr(), *coord)
+		res, err := dist.Coordinate(ctx, co, jspec)
+		if err != nil {
+			fatal(err)
+		}
+		rounds, wire := co.Stats()
+		fmt.Println(res)
+		fmt.Printf("relay: %d collective rounds, %.3f MB framed payload moved\n",
+			rounds, float64(wire)/1e6)
 		return
 	}
 
@@ -79,11 +146,18 @@ func main() {
 	}
 	switch {
 	case *topk > 0 && *qbits > 0:
-		cfg.SyncCodec = fda.Codec(chain{fda.TopK{Fraction: *topk}, fda.Quantize{Bits: *qbits}})
+		cfg.SyncCodec = fda.Chain{Stages: []fda.Codec{fda.TopK{Fraction: *topk}, fda.Quantize{Bits: *qbits}}}
 	case *topk > 0:
 		cfg.SyncCodec = fda.TopK{Fraction: *topk}
 	case *qbits > 0:
 		cfg.SyncCodec = fda.Quantize{Bits: *qbits}
+	}
+	if *scenario != "" {
+		scen, err := fda.ScenarioByName(*scenario)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Fabric = fda.NewSimFabric(cfg.K, fda.DefaultCostModel(), scen)
 	}
 
 	// Ctrl-C cancels the run between steps; the session machinery makes
@@ -92,6 +166,12 @@ func main() {
 	defer stop()
 
 	if *async {
+		if *scenario != "" {
+			// The async coordinator runner has its own speed/virtual-time
+			// model and never reads cfg.Fabric; dropping the flag silently
+			// would report times the scenario did not produce.
+			fatal(errors.New("-scenario does not apply to -async (use -speeds for async heterogeneity)"))
+		}
 		ac := fda.AsyncConfig{Config: cfg, Theta: th, UseSketch: *strategy == "SketchFDA"}
 		if *speeds != "" {
 			for _, part := range strings.Split(*speeds, ",") {
@@ -114,34 +194,9 @@ func main() {
 		return
 	}
 
-	var strat fda.Strategy
-	switch *strategy {
-	case "LinearFDA":
-		strat = fda.NewLinearFDA(th)
-	case "SketchFDA":
-		strat = fda.NewSketchFDA(th)
-	case "OracleFDA":
-		strat = fda.NewOracleFDA(th)
-	case "Synchronous":
-		strat = fda.NewSynchronous()
-	case "LocalSGD":
-		strat = fda.NewLocalSGD(*tau)
-	case "IncTau":
-		strat = fda.NewIncreasingTauLocalSGD(*tau, 2)
-	case "DecTau":
-		strat = fda.NewDecreasingTauLocalSGD(*tau, 2)
-	case "PostLocal":
-		strat = fda.NewPostLocalSGD(*steps/4, *tau)
-	case "LAG":
-		strat = fda.NewLAG(*tau, 0.5)
-	case "FedAvg":
-		strat = fda.NewFedAvgFor(cfg, 1)
-	case "FedAvgM":
-		strat = fda.NewFedAvgMFor(cfg, 1)
-	case "FedAdam":
-		strat = fda.NewFedAdamFor(cfg, 1)
-	default:
-		fatal(fmt.Errorf("unknown strategy %q", *strategy))
+	strat, err := dist.StrategyFor(*strategy, th, *tau, cfg)
+	if err != nil {
+		fatal(err)
 	}
 	if *budget > 0 {
 		switch *strategy {
@@ -172,6 +227,11 @@ func main() {
 		fmt.Printf("  step=%4d epoch=%5.1f acc=%.4f comm=%.4fGB syncs=%d\n",
 			p.Step, p.Epoch, p.TestAcc, float64(p.CommBytes)/1e9, p.SyncCount)
 	}
+	if res.VirtualSec > 0 {
+		fmt.Printf("estimated wall-clock under scenario %q: %.2fs (compute + communication, virtual clock)\n",
+			*scenario, res.VirtualSec)
+		return
+	}
 	for _, prof := range []fda.NetworkProfile{fda.ProfileFL, fda.ProfileBalanced, fda.ProfileHPC} {
 		bits := float64(res.CommBytes) * 8
 		fmt.Printf("est. comm time on %-9s %.2fs\n", prof.Name+":", bits/prof.BandwidthBps)
@@ -201,42 +261,14 @@ func progressSink(enabled bool) fda.EventSink {
 	}
 }
 
-// parseHet converts the -het flag (iid, labelY, pctX) to a scenario.
+// parseHet converts the -het flag through the shared grammar
+// (data.ParseHeterogeneity), fataling on a bad selector.
 func parseHet(s string) fda.Heterogeneity {
-	switch {
-	case s == "" || s == "iid":
-		return fda.IID()
-	case strings.HasPrefix(s, "label"):
-		y, err := strconv.Atoi(strings.TrimPrefix(s, "label"))
-		if err != nil {
-			fatal(fmt.Errorf("bad -het %q", s))
-		}
-		return fda.NonIIDLabel(y, 2)
-	case strings.HasPrefix(s, "pct"):
-		x, err := strconv.ParseFloat(strings.TrimPrefix(s, "pct"), 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad -het %q", s))
-		}
-		return fda.NonIIDPercent(x)
-	case strings.HasPrefix(s, "dir"):
-		a, err := strconv.ParseFloat(strings.TrimPrefix(s, "dir"), 64)
-		if err != nil {
-			fatal(fmt.Errorf("bad -het %q", s))
-		}
-		return fda.NonIIDDirichlet(a)
-	default:
-		fatal(fmt.Errorf("unknown -het %q", s))
-		return fda.IID()
+	h, err := dist.ParseHet(s)
+	if err != nil {
+		fatal(err)
 	}
-}
-
-// chain is a two-stage codec for the -topk + -qbits combination.
-type chain [2]fda.Codec
-
-func (c chain) Name() string { return c[0].Name() + "+" + c[1].Name() }
-func (c chain) Roundtrip(dst, v []float64) int {
-	c[0].Roundtrip(dst, v)
-	return c[1].Roundtrip(dst, dst)
+	return h
 }
 
 func fatal(err error) {

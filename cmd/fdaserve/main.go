@@ -9,6 +9,16 @@
 //
 //	fdaserve -store runs.d -addr :8080
 //
+// With -fabric, the server also coordinates genuinely multi-process
+// training: POST /v1/train with "distributed": true listens for K
+// `fdarun -worker -connect` processes on the fabric address (published
+// in the job view as fabric_addr), relays their collectives and stores
+// the verified cluster result.
+//
+//	fdaserve -store runs.d -addr :8080 -fabric :9000
+//
+//	curl -s localhost:8080/v1/healthz                 # JSON liveness
+//	curl -s localhost:8080/v1/metrics                 # jobs, simulated bytes, uptime
 //	curl -s localhost:8080/v1/experiments
 //	curl -s -X POST localhost:8080/v1/runs -d '{"experiment":"fig3","scale":"tiny","seed":1}'
 //	curl -s -X POST localhost:8080/v1/train -d '{"model":"lenet5s","strategy":"LinearFDA","steps":400}'
@@ -46,6 +56,7 @@ func main() {
 		addr     = flag.String("addr", ":8080", "listen address")
 		storeDir = flag.String("store", "fdaserve-store", "run-registry directory backing the service")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells per run (results are identical at any setting)")
+		fabric   = flag.String("fabric", "", "TCP-fabric listen address for distributed train jobs (e.g. :9000); empty disables them")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -67,6 +78,7 @@ func main() {
 	defer stop()
 
 	s := newServer(st, *jobs, baseCtx)
+	s.fabricAddr = *fabric
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.routes(),

@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/runstore"
 )
@@ -28,6 +29,9 @@ type server struct {
 	store *runstore.Store
 	// jobs is the per-sweep cell parallelism (par.Resolve convention).
 	jobs int
+	// fabricAddr, when non-empty, is the TCP-fabric listen address for
+	// distributed train jobs (`fdarun -worker` processes connect here).
+	fabricAddr string
 	// baseCtx parents every job context; cancelling it (graceful
 	// shutdown) cancels all in-flight runs.
 	baseCtx context.Context
@@ -35,6 +39,11 @@ type server struct {
 	journal *journal
 	// wg tracks in-flight job goroutines for shutdown draining.
 	wg sync.WaitGroup
+	// started anchors the /v1/metrics uptime.
+	started time.Time
+	// bytesSimulated sums the communication accounting of every finished
+	// job (training Results and sweep records).
+	bytesSimulated atomic.Int64
 
 	mu     sync.Mutex
 	byID   map[string]*job
@@ -52,6 +61,7 @@ func newServer(store *runstore.Store, jobs int, baseCtx context.Context) *server
 		jobs:    jobs,
 		baseCtx: baseCtx,
 		journal: openJournal(store.Dir()),
+		started: time.Now(),
 		byID:    map[string]*job{},
 		byKey:   map[string]*job{},
 	}
@@ -97,6 +107,9 @@ type job struct {
 	status string
 	errMsg string
 	result any
+	// fabricAddr is the coordinator address of a distributed train job,
+	// set once its listener is bound (workers connect here).
+	fabricAddr string
 }
 
 // jobView is the status representation shared by every endpoint.
@@ -117,6 +130,9 @@ type jobView struct {
 	Steps   int64 `json:"steps,omitempty"`
 	Syncs   int64 `json:"syncs,omitempty"`
 	Resumed bool  `json:"resumed,omitempty"`
+	// FabricAddr is the coordinator address of a distributed train job —
+	// the endpoint `fdarun -worker -connect` processes join.
+	FabricAddr string `json:"fabric_addr,omitempty"`
 }
 
 func (j *job) view() jobView {
@@ -124,7 +140,7 @@ func (j *job) view() jobView {
 	defer j.mu.Unlock()
 	v := jobView{
 		ID: j.ID, Kind: j.Kind, Experiment: j.Experiment, Scale: j.Scale, Seed: j.Seed,
-		Status: j.status, Error: j.errMsg,
+		Status: j.status, Error: j.errMsg, FabricAddr: j.fabricAddr,
 	}
 	if j.stats != nil {
 		v.Cells = j.stats.Cells.Load()
@@ -147,12 +163,51 @@ func (s *server) setStatus(j *job, status, errMsg string, result any) {
 		j.result = result
 	}
 	j.mu.Unlock()
+	if status == statusDone && result != nil {
+		s.bytesSimulated.Add(simulatedBytes(result))
+	}
 	s.journal.record(j.view())
+}
+
+// simulatedBytes extracts the communication accounting of a finished
+// job's result for the /v1/metrics aggregate. Sweep records with
+// nested accuracy targets share one training trajectory whose byte
+// counts are cumulative, so each grid cell contributes its maximum
+// CommGB once rather than the sum over targets. Unknown record shapes
+// contribute nothing.
+func simulatedBytes(result any) int64 {
+	maxPerCell := map[string]float64{}
+	cell := func(key string, gb float64) {
+		if gb > maxPerCell[key] {
+			maxPerCell[key] = gb
+		}
+	}
+	switch r := result.(type) {
+	case core.Result:
+		return r.CommBytes
+	case []experiments.Record:
+		for _, rec := range r {
+			cell(fmt.Sprintf("%s|%s|%s|%s|%d|%g", rec.Figure, rec.Model, rec.Het, rec.Strategy, rec.K, rec.Theta), rec.CommGB)
+		}
+	case []experiments.NetRecord:
+		for _, rec := range r {
+			cell(fmt.Sprintf("%s|%s|%s|%d|%g", rec.Scenario, rec.Model, rec.Strategy, rec.K, rec.Theta), rec.CommGB)
+		}
+	default:
+		return 0
+	}
+	var gb float64
+	for _, v := range maxPerCell {
+		gb += v
+	}
+	return int64(gb * 1e9)
 }
 
 // routes builds the API surface:
 //
-//	GET    /healthz                 liveness
+//	GET    /healthz                 liveness (bare text)
+//	GET    /v1/healthz              liveness (JSON)
+//	GET    /v1/metrics              job counts, simulated bytes, uptime
 //	GET    /v1/version              build information
 //	GET    /v1/experiments          registered runners
 //	GET    /v1/store                cached-run manifests
@@ -169,6 +224,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
+	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"version": buildinfo.String("fdaserve")})
 	})
@@ -183,6 +240,62 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/records", s.handleRecords)
 	mux.HandleFunc("GET /v1/runs/{id}/output", s.handleOutput)
 	return mux
+}
+
+// handleHealthz implements GET /v1/healthz: a JSON liveness probe (the
+// bare-text /healthz is kept for load balancers that predate the v1
+// surface).
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]string{
+		"status":  "ok",
+		"version": buildinfo.String("fdaserve"),
+	})
+}
+
+// metricsView is the GET /v1/metrics payload.
+type metricsView struct {
+	UptimeSec float64 `json:"uptime_sec"`
+	Jobs      struct {
+		Queued    int `json:"queued"`
+		Running   int `json:"running"`
+		Done      int `json:"done"`
+		Failed    int `json:"failed"`
+		Cancelled int `json:"cancelled"`
+		Total     int `json:"total"`
+	} `json:"jobs"`
+	// BytesSimulated totals the communication accounting of every job
+	// finished since the server started (training results and sweep
+	// records).
+	BytesSimulated int64 `json:"bytes_simulated"`
+	// StoreRuns counts the cached run manifests in the registry.
+	StoreRuns int `json:"store_runs"`
+}
+
+// handleMetrics implements GET /v1/metrics: job counts by status,
+// simulated communication volume and uptime. Jobs start executing at
+// admission, so Queued is zero under the current in-process executor;
+// the field exists so the shape survives a queueing executor.
+func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	var m metricsView
+	m.UptimeSec = time.Since(s.started).Seconds()
+	s.mu.Lock()
+	for _, j := range s.byID {
+		switch j.view().Status {
+		case statusRunning:
+			m.Jobs.Running++
+		case statusDone:
+			m.Jobs.Done++
+		case statusFailed:
+			m.Jobs.Failed++
+		case statusCancelled:
+			m.Jobs.Cancelled++
+		}
+		m.Jobs.Total++
+	}
+	s.mu.Unlock()
+	m.BytesSimulated = s.bytesSimulated.Load()
+	m.StoreRuns = s.store.Count()
+	writeJSON(w, http.StatusOK, m)
 }
 
 func (s *server) handleExperiments(w http.ResponseWriter, r *http.Request) {

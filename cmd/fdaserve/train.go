@@ -10,12 +10,12 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
-	"strconv"
-	"strings"
 
 	"repro/internal/checkpoint"
+	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/dist"
 	"repro/internal/models"
 )
 
@@ -47,6 +47,12 @@ type trainRequest struct {
 	Target    float64 `json:"target"`
 	Het       string  `json:"het"`
 	Seed      uint64  `json:"seed"`
+	// Distributed runs the session as a genuinely multi-process cluster:
+	// the server becomes the TCP-fabric coordinator (it must have been
+	// started with -fabric) and waits for K `fdarun -worker -connect`
+	// processes to join before training begins. Checkpoint resume does
+	// not apply — worker state lives in the worker processes.
+	Distributed bool `json:"distributed"`
 }
 
 func (t *trainRequest) withDefaults() {
@@ -81,62 +87,36 @@ func (t *trainRequest) withDefaults() {
 // key canonically identifies the training spec for dedupe and for the
 // resume checkpoint's content address.
 func (t trainRequest) canonicalKey() string {
-	return fmt.Sprintf("train|%s|%s|%g|%d|%d|%d|%d|%d|%g|%s|%d",
+	key := fmt.Sprintf("train|%s|%s|%g|%d|%d|%d|%d|%d|%g|%s|%d",
 		t.Model, t.Strategy, t.Theta, t.Tau, t.K, t.Batch, t.Steps, t.EvalEvery, t.Target, t.Het, t.Seed)
+	if t.Distributed {
+		// Distributed jobs never share resume checkpoints with local
+		// ones, so they dedupe under their own key space.
+		key += "|dist"
+	}
+	return key
 }
 
-// trainStrategyFor builds the requested strategy; FedOpt variants bind
-// their round length to cfg exactly as fdarun does.
+// jobSpec converts the request into the distributed job payload.
+func (t trainRequest) jobSpec() dist.JobSpec {
+	return dist.JobSpec{
+		Model: t.Model, Strategy: t.Strategy, Theta: t.Theta, Tau: t.Tau,
+		K: t.K, Batch: t.Batch, Steps: t.Steps, EvalEvery: t.EvalEvery,
+		Target: t.Target, Het: t.Het, Seed: t.Seed,
+	}
+}
+
+// trainStrategyFor builds the requested strategy through the shared
+// name index; FedOpt variants bind their round length to cfg exactly as
+// fdarun does.
 func trainStrategyFor(req trainRequest, cfg core.Config) (core.Strategy, error) {
-	switch req.Strategy {
-	case "LinearFDA":
-		return core.NewLinearFDA(req.Theta), nil
-	case "SketchFDA":
-		return core.NewSketchFDA(req.Theta), nil
-	case "OracleFDA":
-		return core.NewOracleFDA(req.Theta), nil
-	case "Synchronous":
-		return core.NewSynchronous(), nil
-	case "LocalSGD":
-		return core.NewLocalSGD(req.Tau), nil
-	case "FedAvg":
-		return core.NewFedAvgFor(cfg, 1), nil
-	case "FedAvgM":
-		return core.NewFedAvgMFor(cfg, 1), nil
-	case "FedAdam":
-		return core.NewFedAdamFor(cfg, 1), nil
-	default:
-		return nil, fmt.Errorf("unknown strategy %q", req.Strategy)
-	}
+	return dist.StrategyFor(req.Strategy, req.Theta, req.Tau, cfg)
 }
 
-// trainHet parses the heterogeneity selector (iid, label<Y>, pct<X>,
-// dir<alpha>), mirroring the fdarun flag grammar.
+// trainHet parses the heterogeneity selector through the shared grammar
+// (iid, label<Y>, pct<X>, dir<alpha>).
 func trainHet(s string) (data.Heterogeneity, error) {
-	switch {
-	case s == "" || s == "iid":
-		return data.IID(), nil
-	case strings.HasPrefix(s, "label"):
-		y, err := strconv.Atoi(strings.TrimPrefix(s, "label"))
-		if err != nil {
-			return data.Heterogeneity{}, fmt.Errorf("bad het %q", s)
-		}
-		return data.NonIIDLabel(y, 2), nil
-	case strings.HasPrefix(s, "pct"):
-		x, err := strconv.ParseFloat(strings.TrimPrefix(s, "pct"), 64)
-		if err != nil {
-			return data.Heterogeneity{}, fmt.Errorf("bad het %q", s)
-		}
-		return data.NonIIDPercent(x), nil
-	case strings.HasPrefix(s, "dir"):
-		a, err := strconv.ParseFloat(strings.TrimPrefix(s, "dir"), 64)
-		if err != nil {
-			return data.Heterogeneity{}, fmt.Errorf("bad het %q", s)
-		}
-		return data.NonIIDDirichlet(a), nil
-	default:
-		return data.Heterogeneity{}, fmt.Errorf("unknown het %q", s)
-	}
+	return data.ParseHeterogeneity(s)
 }
 
 // checkpointPath addresses the resume checkpoint of a train spec inside
@@ -199,6 +179,10 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
+	if req.Distributed && s.fabricAddr == "" {
+		writeError(w, http.StatusBadRequest, "distributed training requires the server to be started with -fabric")
+		return
+	}
 
 	j, ctx, existing := s.createJob(req.canonicalKey(), func(j *job) {
 		j.Kind = "train"
@@ -210,8 +194,51 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.wg.Add(1)
-	go s.executeTrain(j, cfg, strat, ctx)
+	if req.Distributed {
+		go s.executeTrainDistributed(j, req, ctx)
+	} else {
+		go s.executeTrain(j, cfg, strat, ctx)
+	}
 	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// executeTrainDistributed coordinates one multi-process training run:
+// the job listens on the server's fabric address, waits for the K
+// worker processes, relays their collectives and records the verified
+// cluster Result. Cancellation (DELETE or shutdown) closes the
+// coordinator, which unblocks the workers with transport errors.
+func (s *server) executeTrainDistributed(j *job, req trainRequest, ctx context.Context) {
+	defer s.wg.Done()
+	defer j.events.close()
+	defer close(j.done)
+	defer func() {
+		if r := recover(); r != nil {
+			s.setStatus(j, statusFailed, fmt.Sprintf("panic: %v", r), nil)
+		}
+	}()
+
+	coord, err := comm.ListenCoordinator(s.fabricAddr, req.K)
+	if err != nil {
+		s.setStatus(j, statusFailed, err.Error(), nil)
+		return
+	}
+	defer coord.Close()
+	j.mu.Lock()
+	j.fabricAddr = coord.Addr()
+	j.mu.Unlock()
+	j.events.publish("fabric", map[string]any{"addr": coord.Addr(), "workers": req.K})
+
+	res, err := dist.Coordinate(ctx, coord, req.jobSpec())
+	switch {
+	case err == nil:
+		j.steps.Store(int64(res.Steps))
+		j.syncs.Store(int64(res.SyncCount))
+		s.setStatus(j, statusDone, "", res)
+	case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+		s.setStatus(j, statusCancelled, err.Error(), nil)
+	default:
+		s.setStatus(j, statusFailed, err.Error(), nil)
+	}
 }
 
 // executeTrain drives one core.Session under the job's context,

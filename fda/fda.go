@@ -251,12 +251,25 @@ var (
 	M2          = sketch.M2
 )
 
-// Communication substrate.
+// Communication substrate: the pluggable fabric and its backends. The
+// same training loop runs bit-identically on every fabric; only cost
+// and time accounting differ (DESIGN.md §9).
 type (
+	// Fabric is the pluggable communication backend (assign with
+	// Config.Fabric or WithFabric).
+	Fabric = comm.Fabric
+	// CostReport is the per-collective accounting a fabric returns.
+	CostReport = comm.CostReport
 	// CostModel controls byte accounting of collectives.
 	CostModel = comm.CostModel
 	// NetworkProfile translates bytes to wall-time estimates.
 	NetworkProfile = comm.NetworkProfile
+	// LinkProfile models one worker's link and compute speed in a
+	// simulated-network scenario.
+	LinkProfile = comm.LinkProfile
+	// Scenario describes a heterogeneous deployment for the simulated
+	// fabric (per-link profiles, straggler schedule, step compute time).
+	Scenario = comm.Scenario
 )
 
 var (
@@ -266,16 +279,33 @@ var (
 	ProfileFL       = comm.ProfileFL
 	ProfileBalanced = comm.ProfileBalanced
 	ProfileHPC      = comm.ProfileHPC
+	// NewSimFabric builds the simulated-network fabric: reference math
+	// plus a deterministic virtual clock, so Results report estimated
+	// wall-clock time-to-accuracy (Result.VirtualSec).
+	NewSimFabric = comm.NewSimFabric
+	// Canned deployment scenarios for NewSimFabric, also addressable by
+	// name through ScenarioByName.
+	ScenarioLAN       = comm.ScenarioLAN
+	ScenarioFedWAN    = comm.ScenarioFedWAN
+	ScenarioStraggler = comm.ScenarioStraggler
+	ScenarioByName    = comm.ScenarioByName
 )
 
-// Compression codecs for the synchronization step.
+// Compression codecs for the synchronization step. Every codec also
+// implements WireCodec: Encode/Decode materialize the compressed form
+// as length-prefixed, CRC-checked bytes, which is what the TCP fabric
+// actually transmits during a compressed synchronization.
 type (
 	// Codec compresses synchronized drifts.
 	Codec = compress.Codec
+	// WireCodec is a Codec with a real byte-level wire format.
+	WireCodec = compress.WireCodec
 	// TopK keeps the largest-magnitude fraction of components.
 	TopK = compress.TopK
 	// Quantize maps components onto 2^Bits uniform levels.
 	Quantize = compress.Quantize
+	// Chain composes codecs left to right (e.g. top-k then quantize).
+	Chain = compress.Chain
 )
 
 // Model zoo (the scaled Table 2 architectures).

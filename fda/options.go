@@ -84,6 +84,14 @@ func WithSyncCodec(codec Codec) Option { return func(c *Config) { c.SyncCodec = 
 // WithCostModel overrides the communication cost accounting.
 func WithCostModel(cm CostModel) Option { return func(c *Config) { c.Cost = cm } }
 
+// WithFabric runs the training on the given communication backend: nil
+// (the default) selects the in-process reference cluster, NewSimFabric
+// a modeled heterogeneous network with a virtual clock, and a dialed
+// TCP fabric a multi-process cluster. Results are bit-identical across
+// fabrics; only cost/time accounting differs. A fabric instance carries
+// its own meter and clock and therefore belongs to exactly one run.
+func WithFabric(f Fabric) Option { return func(c *Config) { c.Fabric = f } }
+
 // WithParallelism bounds the goroutines of the worker/eval loops
 // (results are bit-identical at any setting; see AutoParallelism).
 func WithParallelism(jobs int) Option { return func(c *Config) { c.Parallelism = jobs } }

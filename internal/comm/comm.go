@@ -1,15 +1,18 @@
-// Package comm simulates the communication fabric of a K-worker training
-// cluster: an averaging AllReduce (the paper's only collective), a
-// byte-accurate cost meter, and network profiles for translating bytes
-// into estimated wall-clock time.
+// Package comm is the communication fabric of a K-worker training
+// cluster: an averaging AllReduce (the paper's only collective) behind
+// the pluggable Fabric interface, a byte-accurate cost meter, and
+// network profiles for translating bytes into estimated wall-clock time.
 //
 // The paper's hardware (44 GPU nodes on InfiniBand, MPI AllReduce) is
-// replaced by an in-process simulation. This is a faithful substitution
-// for the paper's evaluation because its two metrics — total bytes
-// transmitted by all workers, and in-parallel learning steps — are
-// counted, not timed; the simulation counts them exactly. A concurrent
-// goroutine-based ring AllReduce is also provided (see ring.go) and tested
-// to produce the same averages as the sequential reference.
+// replaced by three interchangeable backends: the in-process reference
+// Cluster below (a faithful substitution for the paper's evaluation
+// because its two metrics — total bytes transmitted by all workers, and
+// in-parallel learning steps — are counted, not timed, and the
+// simulation counts them exactly), the SimFabric virtual-clock model
+// (sim.go), and the TCPFabric socket backend (tcp.go, coordinator.go)
+// for genuinely multi-process training. A concurrent goroutine-based
+// ring AllReduce is also provided (see ring.go) and tested to produce
+// the same averages as the sequential reference.
 package comm
 
 import (
@@ -45,8 +48,13 @@ func (cm CostModel) PerWorkerBytes(n, k int) int64 {
 		return payload
 	}
 	// Ring all-reduce: reduce-scatter + all-gather, each moving
-	// (K−1)/K of the payload per worker.
-	return 2 * payload * int64(k-1) / int64(k)
+	// (K−1)/K of the payload per worker, i.e. ⌊2·payload·(K−1)/K⌋.
+	// Split payload = q·K + r so the intermediate products stay below
+	// 2·payload + 2·K² instead of 2·payload·(K−1), which overflows
+	// int64 for multi-exabyte payloads well inside int64's own range.
+	kk := int64(k)
+	q, r := payload/kk, payload%kk
+	return 2*q*(kk-1) + 2*r*(kk-1)/kk
 }
 
 // TotalBytes returns the cluster-wide bytes for one AllReduce, i.e. the
@@ -154,11 +162,14 @@ func (m *Meter) Reset() {
 	m.ops = map[string]int64{}
 }
 
-// Cluster is a simulated group of K workers sharing an AllReduce fabric.
+// Cluster is the in-process reference fabric: a simulated group of K
+// workers sharing an AllReduce. It is the specification the other
+// Fabric backends are tested against.
 type Cluster struct {
-	K     int
-	Cost  CostModel
-	Meter *Meter
+	k     int
+	cost  CostModel
+	meter *Meter
+	ranks []int
 	// Concurrent selects the goroutine ring implementation for vector
 	// AllReduce; the sequential reference is the default (it is faster at
 	// simulation scale on a single core and bit-identical in accounting).
@@ -174,10 +185,51 @@ type Cluster struct {
 
 // NewCluster returns a cluster of k workers with the default cost model.
 func NewCluster(k int) *Cluster {
+	return NewClusterWithCost(k, DefaultCostModel())
+}
+
+// NewClusterWithCost returns a cluster of k workers charging under cm.
+func NewClusterWithCost(k int, cm CostModel) *Cluster {
 	if k <= 0 {
 		panic(fmt.Sprintf("comm: non-positive cluster size %d", k))
 	}
-	return &Cluster{K: k, Cost: DefaultCostModel(), Meter: NewMeter()}
+	return &Cluster{k: k, cost: cm, meter: NewMeter(), ranks: allRanks(k)}
+}
+
+// K implements Fabric.
+func (c *Cluster) K() int { return c.k }
+
+// Ranks implements Fabric: the in-process cluster owns every rank.
+func (c *Cluster) Ranks() []int { return c.ranks }
+
+// Meter implements Fabric.
+func (c *Cluster) Meter() *Meter { return c.meter }
+
+// Cost implements Fabric.
+func (c *Cluster) Cost() CostModel { return c.cost }
+
+// Close implements Fabric (no resources to release in-process).
+func (c *Cluster) Close() error { return nil }
+
+// charge meters one collective over n elements and builds its report.
+func (c *Cluster) charge(kind string, n int) CostReport {
+	per := c.cost.PerWorkerBytes(n, c.k)
+	total := per * int64(c.k)
+	c.meter.Charge(kind, total)
+	return CostReport{Elements: n, PerWorker: per, Bytes: total}
+}
+
+func (c *Cluster) checkArity(op string, vecs [][]float64) int {
+	if len(vecs) != c.k {
+		panic(fmt.Sprintf("comm: %s over %d vectors in a %d-worker cluster", op, len(vecs), c.k))
+	}
+	n := len(vecs[0])
+	for i, v := range vecs {
+		if len(v) != n {
+			panic(fmt.Sprintf("comm: %s ragged vector %d: %d != %d", op, i, len(v), n))
+		}
+	}
+	return n
 }
 
 // AllReduce averages the K equal-length vectors in place: after the call
@@ -185,16 +237,8 @@ func NewCluster(k int) *Cluster {
 // the meter under kind. This models MPI_Allreduce(MPI_SUM)/K with the
 // result replacing each worker's buffer, exactly the paper's
 // synchronization primitive w^(k) ← w̄.
-func (c *Cluster) AllReduce(kind string, vecs [][]float64) {
-	if len(vecs) != c.K {
-		panic(fmt.Sprintf("comm: AllReduce over %d vectors in a %d-worker cluster", len(vecs), c.K))
-	}
-	n := len(vecs[0])
-	for i, v := range vecs {
-		if len(v) != n {
-			panic(fmt.Sprintf("comm: AllReduce ragged vector %d: %d != %d", i, len(v), n))
-		}
-	}
+func (c *Cluster) AllReduce(kind string, vecs [][]float64) CostReport {
+	n := c.checkArity("AllReduce", vecs)
 	if c.Concurrent {
 		ringAllReduce(vecs)
 	} else {
@@ -207,31 +251,63 @@ func (c *Cluster) AllReduce(kind string, vecs [][]float64) {
 			copy(v, mean)
 		}
 	}
-	c.Meter.Charge(kind, c.Cost.TotalBytes(n, c.K))
+	return c.charge(kind, n)
 }
 
 // AllReduceMean averages the vectors into dst without modifying them,
 // charging the same cost as AllReduce. This models the aggregation of
 // local states S̄ = AllReduce(S^(k)) where workers keep their own states.
-func (c *Cluster) AllReduceMean(kind string, dst []float64, vecs [][]float64) {
-	if len(vecs) != c.K {
-		panic(fmt.Sprintf("comm: AllReduceMean over %d vectors in a %d-worker cluster", len(vecs), c.K))
-	}
+func (c *Cluster) AllReduceMean(kind string, dst []float64, vecs [][]float64) CostReport {
+	c.checkArity("AllReduceMean", vecs)
 	tensor.Mean(dst, vecs...)
-	c.Meter.Charge(kind, c.Cost.TotalBytes(len(dst), c.K))
+	return c.charge(kind, len(dst))
+}
+
+// Broadcast implements Fabric: every worker's vector is overwritten with
+// rank root's, charged under the naive model ((K−1)·payload total).
+func (c *Cluster) Broadcast(kind string, root int, vecs [][]float64) CostReport {
+	n := c.checkArity("Broadcast", vecs)
+	if root < 0 || root >= c.k {
+		panic(fmt.Sprintf("comm: Broadcast root %d outside cluster of %d", root, c.k))
+	}
+	for i, v := range vecs {
+		if i != root {
+			copy(v, vecs[root])
+		}
+	}
+	payload := int64(n) * int64(c.cost.BytesPerParam)
+	total := payload * int64(c.k-1)
+	c.meter.Charge(kind, total)
+	return CostReport{Elements: n, PerWorker: payload, Bytes: total}
+}
+
+// Gather implements Fabric: in-process, the contributions already are
+// the cluster's vectors.
+func (c *Cluster) Gather(local [][]float64) [][]float64 {
+	c.checkArity("Gather", local)
+	return local
+}
+
+// ExchangeBytes implements Fabric: in-process, payloads are returned
+// as-is.
+func (c *Cluster) ExchangeBytes(kind string, local [][]byte) [][]byte {
+	if len(local) != c.k {
+		panic(fmt.Sprintf("comm: ExchangeBytes over %d payloads in a %d-worker cluster", len(local), c.k))
+	}
+	return local
 }
 
 // AllReduceScalars averages one scalar per worker, charging a 1-element
-// AllReduce.
+// AllReduce. (Reference-cluster helper, not part of the Fabric surface.)
 func (c *Cluster) AllReduceScalars(kind string, xs []float64) float64 {
-	if len(xs) != c.K {
+	if len(xs) != c.k {
 		panic("comm: AllReduceScalars arity mismatch")
 	}
 	var s float64
 	for _, x := range xs {
 		s += x
 	}
-	c.Meter.Charge(kind, c.Cost.TotalBytes(1, c.K))
+	c.charge(kind, 1)
 	return s / float64(len(xs))
 }
 

@@ -74,7 +74,7 @@ func TestAllReduceAverageInPlace(t *testing.T) {
 		}
 	}
 	// Cost: ring, n=2, K=4: total = 4 * 2*(3/4)*8 = 48 bytes.
-	if got := c.Meter.BytesFor("model"); got != 48 {
+	if got := c.Meter().BytesFor("model"); got != 48 {
 		t.Fatalf("charged %d bytes", got)
 	}
 }
@@ -90,7 +90,7 @@ func TestAllReduceMeanLeavesInputs(t *testing.T) {
 	if vecs[0][0] != 2 || vecs[1][1] != 8 {
 		t.Fatal("inputs were mutated")
 	}
-	if c.Meter.OpsFor("state") != 1 {
+	if c.Meter().OpsFor("state") != 1 {
 		t.Fatal("op not metered")
 	}
 }
@@ -163,7 +163,7 @@ func TestConcurrentClusterMatchesSequential(t *testing.T) {
 			}
 		}
 	}
-	if seq.Meter.TotalBytes() != conc.Meter.TotalBytes() {
+	if seq.Meter().TotalBytes() != conc.Meter().TotalBytes() {
 		t.Fatal("cost accounting differs between implementations")
 	}
 }

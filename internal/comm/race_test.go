@@ -56,7 +56,7 @@ func TestClustersConcurrently(t *testing.T) {
 				vecs := [][]float64{{1, 2}, {3, 4}, {5, 6}}
 				cl.AllReduce("model", vecs)
 			}
-			totals[c] = cl.Meter.TotalBytes()
+			totals[c] = cl.Meter().TotalBytes()
 		}(c)
 	}
 	wg.Wait()

@@ -47,7 +47,7 @@ func ringCase(t *testing.T, k, n int) {
 			}
 		}
 	}
-	if got, want := ring.Meter.TotalBytes(), seq.Meter.TotalBytes(); got != want {
+	if got, want := ring.Meter().TotalBytes(), seq.Meter().TotalBytes(); got != want {
 		t.Fatalf("K=%d n=%d: ring metered %d bytes, sequential %d", k, n, got, want)
 	}
 }

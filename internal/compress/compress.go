@@ -37,31 +37,49 @@ type TopK struct {
 // Name implements Codec.
 func (c TopK) Name() string { return fmt.Sprintf("top%g%%", c.Fraction*100) }
 
-// Roundtrip implements Codec.
-func (c TopK) Roundtrip(dst, v []float64) int {
+// keepCount returns how many components TopK retains for an n-vector.
+// It depends only on n, so every worker can price a peer's payload
+// without seeing it.
+func (c TopK) keepCount(n int) int {
 	if c.Fraction <= 0 || c.Fraction > 1 {
 		panic(fmt.Sprintf("compress: TopK fraction %v outside (0,1]", c.Fraction))
 	}
-	n := len(v)
 	keep := int(math.Ceil(c.Fraction * float64(n)))
 	if keep < 1 {
+		// Also the n == 0 case: the historical accounting charges one
+		// (index, value) pair for an empty vector, and the wire encoding
+		// simply carries zero pairs.
 		keep = 1
 	}
-	if keep >= n {
-		copy(dst, v)
-		return keep * 8
+	if n > 0 && keep > n {
+		keep = n
 	}
-	// Select the magnitude threshold of the keep-th largest component.
+	return keep
+}
+
+// kept returns the indices TopK retains for v, ascending — the single
+// source of truth shared by Roundtrip and the wire Encode so the
+// in-process reconstruction and a decoded wire payload are bit-equal.
+// Everything strictly above the keep-th largest magnitude is retained,
+// then the remaining quota fills with threshold-magnitude components in
+// scan order — a plain ">= thresh" scan could exhaust the quota on ties
+// and drop a strictly larger component appearing later.
+func (c TopK) kept(v []float64) []int {
+	n := len(v)
+	keep := c.keepCount(n)
+	idx := make([]int, 0, keep)
+	if keep >= n {
+		for i := range v {
+			idx = append(idx, i)
+		}
+		return idx
+	}
 	mags := make([]float64, n)
 	for i, x := range v {
 		mags[i] = math.Abs(x)
 	}
 	sort.Sort(sort.Reverse(sort.Float64Slice(mags)))
 	thresh := mags[keep-1]
-	// Keep everything strictly above the threshold first, then fill the
-	// remaining quota with threshold-magnitude components in scan order —
-	// a plain ">= thresh" scan could exhaust the quota on ties and drop a
-	// strictly larger component appearing later.
 	above := 0
 	for _, m := range mags[:keep] {
 		if m > thresh {
@@ -73,11 +91,32 @@ func (c TopK) Roundtrip(dst, v []float64) int {
 		m := math.Abs(x)
 		switch {
 		case m > thresh:
-			dst[i] = x
+			idx = append(idx, i)
 		case m == thresh && tieQuota > 0:
-			dst[i] = x
+			idx = append(idx, i)
 			tieQuota--
-		default:
+		}
+	}
+	return idx
+}
+
+// Roundtrip implements Codec.
+func (c TopK) Roundtrip(dst, v []float64) int {
+	n := len(v)
+	keep := c.keepCount(n)
+	if keep >= n {
+		copy(dst, v)
+		return keep * 8
+	}
+	idx := c.kept(v)
+	// Scatter kept values; idx is ascending, so walking it alongside a
+	// zero fill reconstructs in one pass even when dst aliases v.
+	j := 0
+	for i := range dst[:n] {
+		if j < len(idx) && idx[j] == i {
+			dst[i] = v[i]
+			j++
+		} else {
 			dst[i] = 0
 		}
 	}

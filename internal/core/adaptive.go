@@ -92,7 +92,7 @@ func (a *AdaptiveTheta) AfterLocalStep(env *Env, t int) {
 	if t%a.Window != 0 {
 		return
 	}
-	rate := float64(env.Cluster.Meter.TotalBytes()) / float64(t)
+	rate := float64(env.Fabric.Meter().TotalBytes()) / float64(t)
 
 	theta := a.getTheta()
 	switch {

@@ -216,7 +216,7 @@ func (f *FedOpt) AfterLocalStep(env *Env, t int) {
 	}
 	// Round boundary: aggregate local models (one metered model AllReduce),
 	// then apply the server update on the global model and broadcast.
-	env.Cluster.AllReduceMean("model", f.mean, f.views)
+	env.Fabric.AllReduceMean("model", f.mean, f.views)
 
 	// Pseudo-gradient Δ = w_global − w̄; server step moves the global
 	// model along −Δ scaled by its optimizer.

@@ -51,6 +51,15 @@ type Config struct {
 	Het data.Heterogeneity
 	// Cost is the communication cost model (default: paper accounting).
 	Cost comm.CostModel
+	// Fabric is the communication backend the run executes on. Nil
+	// selects the in-process reference cluster (comm.NewCluster); a
+	// comm.SimFabric adds a deterministic virtual clock (time-to-accuracy
+	// estimates); a comm.TCPFabric places this process's workers in a
+	// multi-process cluster. Training math is bit-identical across
+	// fabrics — only cost/time accounting differs (DESIGN.md §9). A
+	// non-nil fabric must agree with K; when it owns only a subset of
+	// ranks (TCP), this process builds and steps only those workers.
+	Fabric comm.Fabric
 	// MaxSteps caps the in-parallel learning steps (safety bound).
 	MaxSteps int
 	// TargetAccuracy ends the run once the global model's test accuracy
@@ -164,6 +173,9 @@ func (c Config) Validate() error {
 	if c.Cost.BytesPerParam < 0 {
 		add("Cost", "BytesPerParam must be non-negative, got %d", c.Cost.BytesPerParam)
 	}
+	if c.Fabric != nil && c.K > 0 && c.Fabric.K() != c.K {
+		add("Fabric", "spans %d workers, config has K=%d", c.Fabric.K(), c.K)
+	}
 	if len(fields) == 0 {
 		return nil
 	}
@@ -178,6 +190,10 @@ type Point struct {
 	TrainAcc  float64 // only when Config.RecordTrainAccuracy
 	CommBytes int64
 	SyncCount int
+	// VirtualSec is the fabric's virtual clock at this point (estimated
+	// wall-clock seconds: compute + communication under the network
+	// scenario). Zero unless the run executes on a time-modeling fabric.
+	VirtualSec float64 `json:",omitempty"`
 }
 
 // Result summarizes a training run; its fields are the paper's evaluation
@@ -202,6 +218,10 @@ type Result struct {
 	// MaxSteps.
 	FinalTestAcc  float64
 	ReachedTarget bool
+	// VirtualSec is the fabric's virtual clock when the run ended — the
+	// estimated wall-clock time-to-accuracy under the simulated network
+	// scenario. Zero unless the run executes on a time-modeling fabric.
+	VirtualSec float64 `json:",omitempty"`
 	// History holds the evaluation trace.
 	History []Point
 }

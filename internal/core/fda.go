@@ -123,7 +123,7 @@ func (s *SketchFDA) AfterLocalStep(env *Env, _ int) {
 	// Sketcher is immutable after Precompute) and run on the pool; the
 	// state AllReduce below reduces in worker order on this goroutine.
 	env.ForEachWorker(s.body)
-	env.Cluster.AllReduceMean("state", s.meanSt, s.states)
+	env.Fabric.AllReduceMean("state", s.meanSt, s.states)
 	if s.estimate() > s.Theta {
 		env.SyncModels()
 	}
@@ -211,7 +211,7 @@ func (l *LinearFDA) RestoreState(vecs [][]float64, counters []uint64) error {
 // AfterLocalStep implements Strategy.
 func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
 	env.ForEachWorker(l.body)
-	env.Cluster.AllReduceMean("state", l.meanSt, l.states)
+	env.Fabric.AllReduceMean("state", l.meanSt, l.states)
 	h := l.meanSt[0] - l.meanSt[1]*l.meanSt[1]
 	if h > l.Theta {
 		env.SyncModels()
@@ -264,7 +264,7 @@ func (o *OracleFDA) Init(env *Env) {
 func (o *OracleFDA) AfterLocalStep(env *Env, _ int) {
 	// Charge the same state traffic a two-scalar variant would use.
 	env.ForEachWorker(o.body)
-	env.Cluster.AllReduceMean("state", o.meanSt, o.states)
+	env.Fabric.AllReduceMean("state", o.meanSt, o.states)
 	if env.ExactVarianceViaDrift() > o.Theta {
 		env.SyncModels()
 	}

@@ -204,7 +204,7 @@ func (l *LAG) AfterLocalStep(env *Env, t int) {
 	// Cheap trigger: mean squared drift (scalars, like an FDA state
 	// AllReduce but without the deflation term).
 	env.ForEachWorker(l.body)
-	env.Cluster.AllReduceMean("state", l.meanSt, l.states)
+	env.Fabric.AllReduceMean("state", l.meanSt, l.states)
 
 	// Lazily skip the round while the aggregate drift magnitude is close
 	// to what it was at the last performed round.

@@ -39,6 +39,11 @@ type Session struct {
 	eval         *evaluator
 	globalParams []float64
 	stepBody     func(int, *Worker)
+	// stepTimer/clock are the fabric's optional time-modeling faces,
+	// asserted once at construction so the steady-state step does no
+	// interface probing.
+	stepTimer comm.StepTimer
+	clock     comm.VirtualClocker
 
 	samplesPerStep float64
 	trainLen       float64
@@ -94,24 +99,44 @@ func NewSession(ctx context.Context, cfg Config, strat Strategy) (*Session, erro
 
 	shards := cfg.Het.Partition(cfg.Train, cfg.K, root.Split())
 
-	cluster := comm.NewCluster(cfg.K)
-	cluster.Cost = cfg.Cost
+	// The fabric decides which ranks live in this process: all of them
+	// on the in-process backends, one inside a distributed worker. A
+	// fabric instance carries a meter and (possibly) a clock, so it
+	// belongs to exactly one run.
+	fabric := cfg.Fabric
+	if fabric == nil {
+		fabric = comm.NewClusterWithCost(cfg.K, cfg.Cost)
+	}
+	ranks := fabric.Ranks()
+	if len(ranks) == 0 {
+		return nil, fmt.Errorf("core: fabric owns no local ranks")
+	}
 
-	workers := make([]*Worker, cfg.K)
-	for k := range workers {
-		net := cfg.Model(root.Split())
-		net.SetParams(w0)
-		workers[k] = &Worker{
-			ID:      k,
-			Net:     net,
-			Opt:     cfg.Optimizer(),
-			Shard:   shards[k],
-			drift:   make([]float64, d),
-			sampler: data.NewSampler(shards[k], root.Split()),
+	// Build replicas only for local ranks, but consume the root RNG
+	// stream for every rank in the same order the in-process path does —
+	// that alignment is what makes a distributed worker's shard, model
+	// and sampler bit-identical to its in-process counterpart.
+	workers := make([]*Worker, 0, len(ranks))
+	next := 0
+	for k := 0; k < cfg.K; k++ {
+		netRNG := root.Split()
+		samplerRNG := root.Split()
+		if next < len(ranks) && ranks[next] == k {
+			net := cfg.Model(netRNG)
+			net.SetParams(w0)
+			workers = append(workers, &Worker{
+				ID:      k,
+				Net:     net,
+				Opt:     cfg.Optimizer(),
+				Shard:   shards[k],
+				drift:   make([]float64, d),
+				sampler: data.NewSampler(shards[k], samplerRNG),
+			})
+			next++
 		}
 	}
 
-	env := newEnv(cluster, workers)
+	env := newEnv(fabric, workers)
 	env.Codec = cfg.SyncCodec
 	env.pool = newPool(cfg.Parallelism)
 	strat.Init(env)
@@ -126,6 +151,12 @@ func NewSession(ctx context.Context, cfg Config, strat Strategy) (*Session, erro
 		samplesPerStep: float64(cfg.BatchSize * cfg.K),
 		trainLen:       float64(cfg.Train.Len()),
 		res:            Result{Strategy: strat.Name()},
+	}
+	if st, ok := fabric.(comm.StepTimer); ok {
+		s.stepTimer = st
+	}
+	if cl, ok := fabric.(comm.VirtualClocker); ok {
+		s.clock = cl
 	}
 	// Hoisted per-step body: one closure for the whole session, so the
 	// steady-state loop allocates nothing.
@@ -169,12 +200,17 @@ func (s *Session) Step() (bool, error) {
 	t := s.t + 1
 	prevSyncs := s.env.SyncCount
 	s.env.ForEachWorker(s.stepBody)
+	if s.stepTimer != nil {
+		// Compute time of step t lands on the virtual clock before the
+		// strategy's collectives add their communication time.
+		s.stepTimer.StepDone(t)
+	}
 	s.strat.AfterLocalStep(s.env, t)
 	s.t = t
 	s.res.Steps = t
 	s.emit(StepEvent{Step: t, Worker: -1})
 	if s.env.SyncCount > prevSyncs {
-		meter := s.env.Cluster.Meter
+		meter := s.env.Fabric.Meter()
 		modelBytes := meter.BytesFor("model")
 		s.emit(SyncEvent{
 			Step:       t,
@@ -215,8 +251,11 @@ func (s *Session) evaluate(t int) Point {
 		Step:      t,
 		Epoch:     float64(t) * s.samplesPerStep / s.trainLen,
 		TestAcc:   s.eval.accuracy(s.globalParams, s.cfg.Test),
-		CommBytes: s.env.Cluster.Meter.TotalBytes(),
+		CommBytes: s.env.Fabric.Meter().TotalBytes(),
 		SyncCount: s.env.SyncCount,
+	}
+	if s.clock != nil {
+		p.VirtualSec = s.clock.VirtualTime()
 	}
 	if s.cfg.RecordTrainAccuracy {
 		p.TrainAcc = s.eval.accuracy(s.globalParams, s.cfg.Train)
@@ -227,12 +266,15 @@ func (s *Session) evaluate(t int) Point {
 // fillTotals copies the cost totals into the Result, matching the batch
 // Run epilogue bit-for-bit.
 func (s *Session) fillTotals() {
-	meter := s.env.Cluster.Meter
+	meter := s.env.Fabric.Meter()
 	s.res.Epochs = float64(s.res.Steps) * s.samplesPerStep / s.trainLen
 	s.res.CommBytes = meter.TotalBytes()
 	s.res.StateBytes = meter.BytesFor("state")
 	s.res.ModelBytes = meter.BytesFor("model")
 	s.res.SyncCount = s.env.SyncCount
+	if s.clock != nil {
+		s.res.VirtualSec = s.clock.VirtualTime()
+	}
 }
 
 // finish seals the session: totals are filled (left zero on divergence,
@@ -287,7 +329,9 @@ func (s *Session) StepCount() int { return s.t }
 func (s *Session) Result() Result { return s.res }
 
 // GlobalModel writes the current averaged global model into dst (live
-// serving helper; measurement only, not charged as communication).
+// serving helper; measurement only, not charged as communication). On a
+// distributed fabric this is a collective: every process of the cluster
+// must call it at the same point between steps.
 func (s *Session) GlobalModel(dst []float64) { s.env.GlobalModel(dst) }
 
 // NumParams returns the model dimension d.
@@ -332,7 +376,7 @@ func (s *Session) Snapshot() (*checkpoint.Snapshot, error) {
 		}
 	}
 
-	bytes, ops := env.Cluster.Meter.Snapshot()
+	bytes, ops := env.Fabric.Meter().Snapshot()
 	for kind, b := range bytes {
 		snap.AddU64("meter.b."+kind, uint64(b))
 	}
@@ -340,6 +384,9 @@ func (s *Session) Snapshot() (*checkpoint.Snapshot, error) {
 		snap.AddU64("meter.o."+kind, uint64(o))
 	}
 	snap.AddU64("modelbytesseen", uint64(s.modelBytesSeen))
+	if s.clock != nil {
+		snap.AddU64("fabric.clock", math.Float64bits(s.clock.VirtualTime()))
+	}
 
 	s.snapshotHistory(snap)
 
@@ -372,6 +419,7 @@ func (s *Session) snapshotHistory(snap *checkpoint.Snapshot) {
 	trainAcc := make([]float64, n)
 	commBytes := make([]float64, n)
 	syncCount := make([]float64, n)
+	virtualSec := make([]float64, n)
 	for i, p := range s.res.History {
 		step[i] = math.Float64frombits(uint64(p.Step))
 		epoch[i] = p.Epoch
@@ -379,6 +427,7 @@ func (s *Session) snapshotHistory(snap *checkpoint.Snapshot) {
 		trainAcc[i] = p.TrainAcc
 		commBytes[i] = math.Float64frombits(uint64(p.CommBytes))
 		syncCount[i] = math.Float64frombits(uint64(p.SyncCount))
+		virtualSec[i] = p.VirtualSec
 	}
 	snap.AddVec("hist.step", step)
 	snap.AddVec("hist.epoch", epoch)
@@ -386,6 +435,7 @@ func (s *Session) snapshotHistory(snap *checkpoint.Snapshot) {
 	snap.AddVec("hist.trainacc", trainAcc)
 	snap.AddVec("hist.commbytes", commBytes)
 	snap.AddVec("hist.synccount", syncCount)
+	snap.AddVec("hist.virtualsec", virtualSec)
 }
 
 // Restore overwrites the session's state with a snapshot taken from a
@@ -463,9 +513,13 @@ func (s *Session) Restore(snap *checkpoint.Snapshot) error {
 			ops[name[8:]] = int64(v)
 		}
 	}
-	env.Cluster.Meter.Restore(bytes, ops)
+	env.Fabric.Meter().Restore(bytes, ops)
 	seen, _ := snap.U64("modelbytesseen")
 	s.modelBytesSeen = int64(seen)
+	if s.clock != nil {
+		clockBits, _ := snap.U64("fabric.clock")
+		s.clock.SetVirtualTime(math.Float64frombits(clockBits))
+	}
 
 	if err := s.restoreHistory(snap); err != nil {
 		return err
@@ -508,6 +562,12 @@ func (s *Session) restoreHistory(snap *checkpoint.Snapshot) error {
 		}
 		cols[name] = col
 	}
+	// hist.virtualsec arrived with the fabric refactor; checkpoints from
+	// earlier binaries simply lack the column and restore as zeros.
+	virtualSec := snap.Vec("hist.virtualsec")
+	if len(virtualSec) != 0 && len(virtualSec) != n {
+		return fmt.Errorf("core: snapshot history column hist.virtualsec has %d entries, want %d", len(virtualSec), n)
+	}
 	s.res.History = make([]Point, n)
 	for i := range s.res.History {
 		s.res.History[i] = Point{
@@ -517,6 +577,9 @@ func (s *Session) restoreHistory(snap *checkpoint.Snapshot) error {
 			TrainAcc:  cols["hist.trainacc"][i],
 			CommBytes: int64(math.Float64bits(cols["hist.commbytes"][i])),
 			SyncCount: int(math.Float64bits(cols["hist.synccount"][i])),
+		}
+		if len(virtualSec) == n {
+			s.res.History[i].VirtualSec = virtualSec[i]
 		}
 	}
 	s.res.FinalTestAcc = s.res.History[n-1].TestAcc

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"fmt"
+
 	"repro/internal/comm"
 	"repro/internal/compress"
 	"repro/internal/data"
@@ -52,11 +54,19 @@ func (w *Worker) DriftSquaredNorm(w0 []float64) ([]float64, float64) {
 	return w.drift, sq
 }
 
-// Env is the shared state a strategy operates on: the cluster fabric, the
-// workers, and the models at the last two synchronization points (w_t0
-// and w_t−1 in the paper's notation, needed by LinearFDA's ξ heuristic).
+// Env is the shared state a strategy operates on: the communication
+// fabric, this process's workers, and the models at the last two
+// synchronization points (w_t0 and w_t−1 in the paper's notation,
+// needed by LinearFDA's ξ heuristic).
+//
+// Workers holds only the ranks this process drives — all K of them on
+// the in-process fabrics, a single one inside a `fdarun -worker`
+// process. Strategies iterate Workers for their per-worker state
+// computations and go through Fabric for every cross-worker reduction,
+// which is what makes the same strategy code run unchanged on all
+// backends.
 type Env struct {
-	Cluster *comm.Cluster
+	Fabric  comm.Fabric
 	Workers []*Worker
 	// W0 is the global model at the most recent synchronization.
 	W0 []float64
@@ -72,9 +82,10 @@ type Env struct {
 	// compression because it only changes when synchronization happens.
 	Codec compress.Codec
 
-	paramViews [][]float64 // workers' parameter slices, for AllReduce
+	paramViews [][]float64 // local workers' parameter slices, for AllReduce
 	codecBuf   []float64
 	codecMean  []float64
+	encoded    [][]byte // distributed compressed sync: encoded local drifts
 	pool       *pool
 
 	// w0Arenas double-buffers the (W0, WPrev) pair: at most two
@@ -83,14 +94,16 @@ type Env struct {
 	// WPrev instead of allocating. w0Idx tracks which arena W0 occupies.
 	w0Arenas [2][]float64
 	w0Idx    int
-	// driftScratch backs the measurement helpers (ExactVariance and the
-	// drift-identity variant), which strategies may evaluate every step.
-	driftScratch []float64
+	// driftScratch and driftScratch2 back the measurement helpers
+	// (ExactVariance and the drift-identity variant), which strategies
+	// may evaluate every step.
+	driftScratch  []float64
+	driftScratch2 []float64
 }
 
-func newEnv(cluster *comm.Cluster, workers []*Worker) *Env {
+func newEnv(fabric comm.Fabric, workers []*Worker) *Env {
 	e := &Env{
-		Cluster: cluster,
+		Fabric:  fabric,
 		Workers: workers,
 		D:       workers[0].Net.NumParams(),
 	}
@@ -145,6 +158,15 @@ func (e *Env) scratchD() []float64 {
 	return e.driftScratch
 }
 
+// scratchD2 is the second measurement scratch (per-rank drift while
+// scratchD accumulates the mean).
+func (e *Env) scratchD2() []float64 {
+	if e.driftScratch2 == nil {
+		e.driftScratch2 = make([]float64, e.D)
+	}
+	return e.driftScratch2
+}
+
 // Parallelism returns the effective goroutine count of the run's worker
 // pool (1 when the run is sequential).
 func (e *Env) Parallelism() int { return e.pool.Workers() }
@@ -178,7 +200,7 @@ func (e *Env) SyncModels() {
 		e.syncCompressed()
 		return
 	}
-	e.Cluster.AllReduce("model", e.paramViews)
+	e.Fabric.AllReduce("model", e.paramViews)
 	e.advanceW0(e.Workers[0].Net.Params())
 	e.SyncCount++
 }
@@ -188,6 +210,14 @@ func (e *Env) SyncModels() {
 // the reconstructed drifts. The residual each worker keeps (its true
 // parameters minus the reconstruction) is discarded, matching plain
 // (non-error-feedback) compressed averaging.
+//
+// When the fabric is distributed (this process owns a strict subset of
+// ranks), the drifts genuinely travel in their compress wire encoding
+// through ExchangeBytes and every process reconstructs the mean from
+// the decoded payloads. Decode(Encode(u)) is bit-equal to the
+// in-process Roundtrip(u) reconstruction (the compress wire contract),
+// so the resulting global model is bit-identical to the in-process
+// fabrics'.
 func (e *Env) syncCompressed() {
 	if e.codecBuf == nil {
 		e.codecBuf = make([]float64, e.D)
@@ -195,12 +225,17 @@ func (e *Env) syncCompressed() {
 	}
 	tensor.Zero(e.codecMean)
 	var wire int64
-	for _, w := range e.Workers {
-		u := w.Drift(e.W0)
-		wire += int64(e.Codec.Roundtrip(e.codecBuf, u))
-		tensor.AXPY(1, e.codecBuf, e.codecMean)
+	if len(e.Workers) == e.Fabric.K() {
+		// In-process: reconstruct each drift locally, no bytes needed.
+		for _, w := range e.Workers {
+			u := w.Drift(e.W0)
+			wire += int64(e.Codec.Roundtrip(e.codecBuf, u))
+			tensor.AXPY(1, e.codecBuf, e.codecMean)
+		}
+	} else {
+		wire = e.exchangeCompressedDrifts()
 	}
-	tensor.Scale(e.codecMean, 1/float64(len(e.Workers)))
+	tensor.Scale(e.codecMean, 1/float64(e.Fabric.K()))
 	// New global model w_t0 + mean(û), assembled in the codec scratch and
 	// copied into the W0 arena by advanceW0.
 	tensor.Add(e.codecMean, e.W0, e.codecMean)
@@ -209,18 +244,53 @@ func (e *Env) syncCompressed() {
 	e.advanceW0(global)
 	e.SyncCount++
 	// Each worker uploads its compressed drift and downloads the
-	// aggregate; charge 2× the summed compressed payloads.
-	e.Cluster.Meter.Charge("model", 2*wire)
+	// aggregate; charge 2× the summed compressed payloads. All codecs
+	// price by vector length alone, so every process computes the same
+	// cluster total from its local drifts.
+	e.Fabric.Meter().Charge("model", 2*wire)
+	if tt, ok := e.Fabric.(comm.TransferTimer); ok {
+		tt.TransferDone(2 * wire / int64(e.Fabric.K()))
+	}
+}
+
+// exchangeCompressedDrifts runs the distributed half of syncCompressed:
+// encode local drifts, exchange the framed payloads, decode all K in
+// rank order into the accumulating mean. Returns the cluster-total
+// charged wire size.
+func (e *Env) exchangeCompressedDrifts() int64 {
+	wc, ok := e.Codec.(compress.WireCodec)
+	if !ok {
+		panic(fmt.Sprintf("core: distributed compressed sync needs a wire codec, %s has no encoding", e.Codec.Name()))
+	}
+	var perWorker int64
+	e.encoded = e.encoded[:0]
+	for _, w := range e.Workers {
+		u := w.Drift(e.W0)
+		// Cost-model size of one drift (length-dependent only, so it
+		// prices every rank's payload); the real frame travels below.
+		perWorker = int64(e.Codec.Roundtrip(e.codecBuf, u))
+		e.encoded = append(e.encoded, wc.Encode(u))
+	}
+	parts := e.Fabric.ExchangeBytes("model", e.encoded)
+	for r, p := range parts {
+		if err := wc.Decode(e.codecBuf, p); err != nil {
+			panic(fmt.Sprintf("core: decoding rank %d compressed drift: %v", r, err))
+		}
+		tensor.AXPY(1, e.codecBuf, e.codecMean)
+	}
+	return perWorker * int64(e.Fabric.K())
 }
 
 // GlobalModel writes the current average model w̄ into dst (measurement
-// only; not charged as communication).
+// only; not charged as communication). On a distributed fabric this is
+// a collective — every process of the cluster must call it at the same
+// point of the run, which the replicated session loop guarantees.
 func (e *Env) GlobalModel(dst []float64) {
-	tensor.Mean(dst, e.paramViews...)
+	tensor.Mean(dst, e.Fabric.Gather(e.paramViews)...)
 }
 
-// MeanSquaredDrift returns (1/K)·Σ‖u^(k)‖² computed locally (measurement
-// helper for tests and the exact-variance oracle).
+// MeanSquaredDrift returns the mean ‖u^(k)‖² over this process's
+// workers (measurement helper for tests; not a collective).
 func (e *Env) MeanSquaredDrift() float64 {
 	var s float64
 	for _, w := range e.Workers {
@@ -234,30 +304,35 @@ func (e *Env) MeanSquaredDrift() float64 {
 // ground truth that the FDA estimators bound. Used by tests and the
 // oracle ablation; a real deployment cannot compute it cheaply.
 func (e *Env) ExactVariance() float64 {
+	all := e.Fabric.Gather(e.paramViews)
 	mean := make([]float64, e.D)
-	e.GlobalModel(mean)
+	tensor.Mean(mean, all...)
 	var s float64
 	diff := make([]float64, e.D)
-	for _, w := range e.Workers {
-		s += tensor.SubThenSquaredNorm(diff, w.Net.Params(), mean)
+	for _, p := range all {
+		s += tensor.SubThenSquaredNorm(diff, p, mean)
 	}
-	return s / float64(len(e.Workers))
+	return s / float64(e.Fabric.K())
 }
 
 // ExactVarianceViaDrift returns Var(w_t) through the drift identity
 // Eq. (4): mean‖u‖² − ‖ū‖². Tests assert it matches ExactVariance.
-// OracleFDA evaluates it every step, so the mean drift accumulates in
-// the Env scratch rather than a fresh vector.
+// OracleFDA evaluates it every step, so the drifts and their mean
+// accumulate in Env scratch arenas rather than fresh vectors; the
+// gathered parameters and the same fused kernel keep the reduction
+// bit-identical to the pre-fabric per-worker loop.
 func (e *Env) ExactVarianceViaDrift() float64 {
+	all := e.Fabric.Gather(e.paramViews)
 	meanDrift := e.scratchD()
+	diff := e.scratchD2()
 	tensor.Zero(meanDrift)
 	var meanSq float64
-	for _, w := range e.Workers {
-		u, sq := w.DriftSquaredNorm(e.W0)
+	for _, p := range all {
+		sq := tensor.SubThenSquaredNorm(diff, p, e.W0)
 		meanSq += sq
-		tensor.AXPY(1, u, meanDrift)
+		tensor.AXPY(1, diff, meanDrift)
 	}
-	k := float64(len(e.Workers))
+	k := float64(e.Fabric.K())
 	meanSq /= k
 	tensor.Scale(meanDrift, 1/k)
 	return meanSq - tensor.SquaredNorm(meanDrift)

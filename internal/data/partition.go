@@ -3,6 +3,8 @@ package data
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 
 	"repro/internal/tensor"
 )
@@ -154,6 +156,37 @@ func NonIIDPercent(pct float64) Heterogeneity {
 // NonIIDLabel is the concentrated-label scenario.
 func NonIIDLabel(label, holders int) Heterogeneity {
 	return Heterogeneity{Kind: "label", Label: label, Holders: holders}
+}
+
+// ParseHeterogeneity converts the CLI/API selector grammar — "iid",
+// "label<Y>", "pct<X>", "dir<alpha>" — into a scenario. It is the
+// single parser shared by fdarun, fdaserve and the distributed job
+// spec, so every surface accepts exactly the same spellings.
+func ParseHeterogeneity(s string) (Heterogeneity, error) {
+	switch {
+	case s == "" || s == "iid":
+		return IID(), nil
+	case strings.HasPrefix(s, "label"):
+		y, err := strconv.Atoi(strings.TrimPrefix(s, "label"))
+		if err != nil {
+			return Heterogeneity{}, fmt.Errorf("data: bad heterogeneity %q", s)
+		}
+		return NonIIDLabel(y, 2), nil
+	case strings.HasPrefix(s, "pct"):
+		x, err := strconv.ParseFloat(strings.TrimPrefix(s, "pct"), 64)
+		if err != nil {
+			return Heterogeneity{}, fmt.Errorf("data: bad heterogeneity %q", s)
+		}
+		return NonIIDPercent(x), nil
+	case strings.HasPrefix(s, "dir"):
+		a, err := strconv.ParseFloat(strings.TrimPrefix(s, "dir"), 64)
+		if err != nil {
+			return Heterogeneity{}, fmt.Errorf("data: bad heterogeneity %q", s)
+		}
+		return NonIIDDirichlet(a), nil
+	default:
+		return Heterogeneity{}, fmt.Errorf("data: unknown heterogeneity %q", s)
+	}
 }
 
 // String returns the paper's naming for the scenario.

@@ -1,0 +1,165 @@
+// Package dist implements multi-process distributed training on the
+// TCP fabric: the serializable job spec every process builds its
+// replicated configuration from, the worker driver behind
+// `fdarun -worker -connect`, and the coordinator driver behind
+// `fdaserve`'s distributed train jobs and `fdarun -coordinator`.
+//
+// The execution model is replicated SPMD (DESIGN.md §9): the
+// coordinator sends the same JobSpec to every worker; each worker
+// deterministically derives the full cluster layout (datasets, shards,
+// initial model, per-rank RNG streams) from it and steps only its
+// assigned rank, meeting the others exclusively through fabric
+// collectives. Because reductions are computed from rank-ordered
+// contributions with the in-process kernels, every process finishes
+// with bit-identical training state and an identical Result — which the
+// coordinator verifies before reporting.
+package dist
+
+import (
+	"fmt"
+
+	"repro/internal/compress"
+	"repro/internal/core"
+	"repro/internal/data"
+	"repro/internal/models"
+)
+
+// JobSpec is the serializable description of one distributed training
+// run — the payload the coordinator hands every worker at rank
+// assignment. It mirrors the fdarun flag surface / fdaserve train
+// request; every field is deterministic input, so two processes holding
+// equal specs build bit-identical cluster state.
+type JobSpec struct {
+	// Model is a zoo model name (lenet5s, vgg16s, ...). Required.
+	Model string `json:"model"`
+	// Strategy is the synchronization policy name. Required.
+	Strategy string `json:"strategy"`
+	// Theta is the FDA variance threshold; 0 selects the model's default
+	// grid entry.
+	Theta float64 `json:"theta,omitempty"`
+	// Tau is the round length for the schedule-based baselines.
+	Tau int `json:"tau,omitempty"`
+	// K, Batch, Steps, EvalEvery, Target, Het, Seed mirror core.Config.
+	K         int     `json:"k"`
+	Batch     int     `json:"batch"`
+	Steps     int     `json:"steps"`
+	EvalEvery int     `json:"eval_every,omitempty"`
+	Target    float64 `json:"target,omitempty"`
+	Het       string  `json:"het,omitempty"`
+	Seed      uint64  `json:"seed"`
+	// TopK/QBits compose sync compression exactly as the fdarun flags.
+	TopK  float64 `json:"topk,omitempty"`
+	QBits int     `json:"qbits,omitempty"`
+}
+
+// WithDefaults fills the documented zero-value defaults.
+func (s JobSpec) WithDefaults() JobSpec {
+	if s.Theta == 0 {
+		if spec, err := models.ByName(s.Model); err == nil && len(spec.ThetaGrid) > 1 {
+			s.Theta = spec.ThetaGrid[1]
+		}
+	}
+	if s.Tau == 0 {
+		s.Tau = 10
+	}
+	if s.K == 0 {
+		s.K = 5
+	}
+	if s.Batch == 0 {
+		s.Batch = 32
+	}
+	if s.Steps == 0 {
+		s.Steps = 200
+	}
+	if s.EvalEvery == 0 {
+		s.EvalEvery = 20
+	}
+	if s.Het == "" {
+		s.Het = "iid"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	return s
+}
+
+// BuildConfig materializes the replicated core.Config (datasets
+// generated, heterogeneity parsed, codec composed). The caller still
+// sets Fabric and Parallelism — the two knobs that are process-local by
+// design.
+func (s JobSpec) BuildConfig() (core.Config, error) {
+	spec, err := models.ByName(s.Model)
+	if err != nil {
+		return core.Config{}, err
+	}
+	het, err := ParseHet(s.Het)
+	if err != nil {
+		return core.Config{}, err
+	}
+	train, test := models.DatasetFor(spec, s.Seed)
+	cfg := core.Config{
+		K: s.K, BatchSize: s.Batch, Seed: s.Seed,
+		Model: spec.Build, Optimizer: spec.Optimizer,
+		Train: train, Test: test,
+		Het:            het,
+		MaxSteps:       s.Steps,
+		EvalEvery:      s.EvalEvery,
+		TargetAccuracy: s.Target,
+	}
+	switch {
+	case s.TopK > 0 && s.QBits > 0:
+		cfg.SyncCodec = compress.Chain{Stages: []compress.Codec{
+			compress.TopK{Fraction: s.TopK}, compress.Quantize{Bits: s.QBits}}}
+	case s.TopK > 0:
+		cfg.SyncCodec = compress.TopK{Fraction: s.TopK}
+	case s.QBits > 0:
+		cfg.SyncCodec = compress.Quantize{Bits: s.QBits}
+	}
+	return cfg, nil
+}
+
+// BuildStrategy constructs the named strategy. FedOpt variants bind
+// their round length to cfg; PostLocal switches at a quarter of the
+// step budget, matching the fdarun CLI convention.
+func (s JobSpec) BuildStrategy(cfg core.Config) (core.Strategy, error) {
+	return StrategyFor(s.Strategy, s.Theta, s.Tau, cfg)
+}
+
+// StrategyFor is the shared strategy-name index used by fdarun,
+// fdaserve and the distributed workers.
+func StrategyFor(name string, theta float64, tau int, cfg core.Config) (core.Strategy, error) {
+	switch name {
+	case "LinearFDA":
+		return core.NewLinearFDA(theta), nil
+	case "SketchFDA":
+		return core.NewSketchFDA(theta), nil
+	case "OracleFDA":
+		return core.NewOracleFDA(theta), nil
+	case "Synchronous":
+		return core.NewSynchronous(), nil
+	case "LocalSGD":
+		return core.NewLocalSGD(tau), nil
+	case "IncTau":
+		return core.NewIncreasingTauLocalSGD(tau, 2), nil
+	case "DecTau":
+		return core.NewDecreasingTauLocalSGD(tau, 2), nil
+	case "PostLocal":
+		return core.NewPostLocalSGD(cfg.MaxSteps/4, tau), nil
+	case "LAG":
+		return core.NewLAG(tau, 0.5), nil
+	case "FedAvg":
+		return core.NewFedAvgFor(cfg, 1), nil
+	case "FedAvgM":
+		return core.NewFedAvgMFor(cfg, 1), nil
+	case "FedAdam":
+		return core.NewFedAdamFor(cfg, 1), nil
+	default:
+		return nil, fmt.Errorf("dist: unknown strategy %q", name)
+	}
+}
+
+// ParseHet converts the het selector grammar (iid, label<Y>, pct<X>,
+// dir<alpha>) shared by fdarun and fdaserve into a scenario.
+func ParseHet(s string) (data.Heterogeneity, error) {
+	return data.ParseHeterogeneity(s)
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+func testStore(t *testing.T) *runstore.Store {
+	t.Helper()
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return st
+}
+
+// TestNetSweepEndToEnd runs the network-scenario sweep at Tiny scale
+// through the registry (the fdaexp path), persists it in a run
+// registry, and checks the scenario axis and virtual-time metrics
+// survive the store round trip: a resubmission recomputes nothing and
+// returns byte-identical records.
+func TestNetSweepEndToEnd(t *testing.T) {
+	st := testStore(t)
+	var out strings.Builder
+	stats := &SweepStats{}
+	res, err := Run("netsweep", Options{Scale: Tiny, Seed: 5, Out: &out, Store: st, Stats: stats})
+	if err != nil {
+		t.Fatalf("netsweep: %v", err)
+	}
+	recs, ok := res.([]NetRecord)
+	if !ok {
+		t.Fatalf("netsweep returned %T", res)
+	}
+
+	scenarios := map[string]bool{}
+	for _, r := range recs {
+		scenarios[r.Scenario] = true
+		if r.VirtualSec <= 0 {
+			t.Fatalf("cell %s/%s reports no virtual time: %+v", r.Scenario, r.Strategy, r)
+		}
+		if r.CommGB <= 0 {
+			t.Fatalf("cell %s/%s reports no communication", r.Scenario, r.Strategy)
+		}
+	}
+	if len(scenarios) < 3 {
+		t.Fatalf("sweep covered %d scenarios, want >= 3 (%v)", len(scenarios), scenarios)
+	}
+	if got := stats.Executed.Load(); got != stats.Cells.Load() || got == 0 {
+		t.Fatalf("first sweep executed %d of %d cells", got, stats.Cells.Load())
+	}
+	if !strings.Contains(out.String(), "est.time(s)") {
+		t.Fatalf("rendered table missing time column:\n%s", out.String())
+	}
+
+	// The slow scenarios must cost more estimated time than the LAN for
+	// the same strategy (they move the same bytes over worse links).
+	byKey := map[string]NetRecord{}
+	for _, r := range recs {
+		byKey[r.Scenario+"/"+r.Strategy] = r
+	}
+	for _, strat := range []string{"LinearFDA", "Synchronous"} {
+		lan, fed := byKey["lan/"+strat], byKey["fedwan/"+strat]
+		if lan.Scenario == "" || fed.Scenario == "" {
+			t.Fatalf("missing lan/fedwan cells for %s", strat)
+		}
+		if fed.VirtualSec <= lan.VirtualSec {
+			t.Fatalf("%s: fedwan %.3fs should exceed lan %.3fs", strat, fed.VirtualSec, lan.VirtualSec)
+		}
+	}
+
+	// Warm resubmission: everything cached, records byte-identical
+	// (including the deterministic virtual clock).
+	stats2 := &SweepStats{}
+	res2, err := Run("netsweep", Options{Scale: Tiny, Seed: 5, Store: st, Stats: stats2})
+	if err != nil {
+		t.Fatalf("warm netsweep: %v", err)
+	}
+	if got := stats2.Executed.Load(); got != 0 {
+		t.Fatalf("warm sweep recomputed %d cells", got)
+	}
+	if !reflect.DeepEqual(res, res2) {
+		t.Fatalf("cached records differ from computed ones")
+	}
+}

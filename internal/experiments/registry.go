@@ -40,6 +40,8 @@ var paperRunners = []Runner{
 var auxRunners = []Runner{
 	{"smoke", "two-cell validation sweep (fast end-to-end probe, no paper artifact)",
 		func(o Options) any { return Smoke(o) }},
+	{"netsweep", "network-scenario sweep — estimated time-to-accuracy on the simulated fabric across deployment scenarios (no paper artifact)",
+		func(o Options) any { return NetSweep(o) }},
 }
 
 // registry is the full dispatch index (paper runners first).

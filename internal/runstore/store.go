@@ -197,6 +197,34 @@ func (s *Store) Delete(spec Spec) error {
 	return os.RemoveAll(s.runDir(spec.Canonical().Hash()))
 }
 
+// Count returns the number of stored entries by walking directory
+// names only — no manifest decoding or record verification — so cheap
+// periodic monitors (fdaserve's /v1/metrics) don't pay List's O(runs)
+// file reads per poll. Unverifiable entries are counted; the catalog of
+// record (List) remains the verified view.
+func (s *Store) Count() int {
+	shards, err := os.ReadDir(filepath.Join(s.dir, "runs"))
+	if err != nil {
+		return 0
+	}
+	n := 0
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		entries, err := os.ReadDir(filepath.Join(s.dir, "runs", shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, e := range entries {
+			if e.IsDir() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
 // List returns the manifests of every verified entry, sorted by
 // (experiment, model, strategy, hash) so listings are stable.
 func (s *Store) List() ([]Manifest, error) {
