@@ -52,10 +52,10 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # bench runs the suite once and records a machine-readable report in
-# BENCH_PR5.json (op, ns/op, bytes, custom metrics) so the perf
+# BENCH_PR6.json (op, ns/op, bytes, custom metrics) so the perf
 # trajectory is tracked across PRs (BENCH_PR2.json holds the pre-fused-
-# kernel baseline, BENCH_PR3.json the fused-kernel one). The raw text
-# still prints.
+# kernel baseline, BENCH_PR3.json the fused-kernel one, BENCH_PR5.json
+# the transport-fabric one). The raw text still prints.
 # Figure/sweep benches run once (each iteration is a whole experiment);
 # the step-, kernel- and fabric-level benches run 100 iterations so the
 # recorded hot-path numbers are steady-state rather than cold-start
@@ -68,6 +68,6 @@ bench:
 	@$(GO) test -run '^$$' -bench '^Benchmark(LocalStep|Kernel|Fabric)' \
 		-benchtime 100x -benchmem -timeout 0 . >> bench.raw.txt \
 		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
-	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR5.json
+	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR6.json
 	@rm -f bench.raw.txt
-	@echo "wrote BENCH_PR5.json"
+	@echo "wrote BENCH_PR6.json"

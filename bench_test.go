@@ -15,6 +15,7 @@ import (
 	"repro/fda"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/runstore"
 	"repro/internal/tensor"
 )
 
@@ -245,6 +246,45 @@ func benchSweepJobs(b *testing.B, jobs int) {
 
 func BenchmarkSweepSequential(b *testing.B) { benchSweepJobs(b, 1) }
 func BenchmarkSweepParallel(b *testing.B)   { benchSweepJobs(b, fda.AutoParallelism) }
+
+// --- Warm-start benches ---
+
+// BenchmarkSweepThetaCold / BenchmarkSweepThetaWarm measure prefix-keyed
+// warm starts (DESIGN.md §10) on the thetasweep grid: three FDA variants
+// times a Θ series per variant, one trajectory seed per variant, run
+// sequentially. Cold trains every cell from step 0; Warm runs the same
+// grid over a fresh snapshot store, so each Θ series' later cells
+// restore the prefix its earlier cells published. Records are
+// bit-identical either way — the wall-clock gap between the two is the
+// figure-sweep series BENCH_PR6.json tracks, and the _Warm variant
+// reports how many cells restored and how many steps the restores
+// skipped.
+func BenchmarkSweepThetaCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if recs := experiments.ThetaSweep(benchOpts()); len(recs) == 0 {
+			b.Fatal("no records")
+		}
+	}
+}
+
+func BenchmarkSweepThetaWarm(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		st, err := runstore.Open(b.TempDir())
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		o := benchOpts()
+		o.Store, o.Warm = st, true
+		o.Stats = &experiments.SweepStats{}
+		if recs := experiments.ThetaSweep(o); len(recs) == 0 {
+			b.Fatal("no records")
+		}
+		b.ReportMetric(float64(o.Stats.SnapshotHits.Load()), "snapshot_hits/op")
+		b.ReportMetric(float64(o.Stats.StepsSaved.Load()), "steps_saved/op")
+	}
+}
 
 // benchRunParallelism times one training run's worker/eval loops at the
 // given Config.Parallelism; the reported sync count is identical across

@@ -16,6 +16,7 @@
 //	fdaexp -exp fig12 -scale full        # paper-like grids; hours of CPU
 //	fdaexp -exp all -store runs.d        # populate the run registry
 //	fdaexp -exp all -resume              # pick up where a killed sweep stopped
+//	fdaexp -exp thetasweep -store runs.d -warmstart  # share trajectory prefixes across Θ cells
 package main
 
 import (
@@ -46,6 +47,7 @@ func main() {
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells (1 = sequential; output is identical at any setting)")
 		storeDir = flag.String("store", "", "run-registry directory: cache every grid cell's records there and reuse cached cells")
 		resume   = flag.Bool("resume", false, "resume from the run registry (implies -store "+defaultStoreDir+" when -store is not set)")
+		warm     = flag.Bool("warmstart", false, "reuse trajectory-prefix snapshots across grid cells sharing a trajectory (needs -store; bit-identical output, lower wall clock)")
 		progress = flag.Bool("progress", false, "print one line per grid cell as the sweep executes")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
@@ -93,6 +95,9 @@ func main() {
 		}
 		o.Store = st
 		o.Stats = &experiments.SweepStats{}
+		o.Warm = *warm
+	} else if *warm {
+		fmt.Fprintln(os.Stderr, "fdaexp: -warmstart needs -store (or -resume); ignoring")
 	}
 
 	names := experiments.PaperNames()
@@ -126,5 +131,9 @@ func main() {
 	if o.Stats != nil {
 		fmt.Printf("[store %s: %d cells, %d cached, %d executed]\n",
 			*storeDir, o.Stats.Cells.Load(), o.Stats.Cached.Load(), o.Stats.Executed.Load())
+		if o.Warm {
+			fmt.Printf("[warmstart: %d snapshot hits, %d steps saved]\n",
+				o.Stats.SnapshotHits.Load(), o.Stats.StepsSaved.Load())
+		}
 	}
 }

@@ -39,6 +39,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/comm"
 	"repro/internal/dist"
+	"repro/internal/runstore"
 )
 
 func main() {
@@ -64,6 +65,8 @@ func main() {
 		worker   = flag.Bool("worker", false, "join a multi-process cluster as one worker (requires -connect; the coordinator supplies rank and job spec)")
 		connect  = flag.String("connect", "", "coordinator address for -worker")
 		coord    = flag.String("coordinator", "", "host a multi-process cluster on this address (e.g. :9000): wait for -k workers, drive the run, verify and print the result")
+		storeDir = flag.String("store", "", "run-registry directory holding trajectory-prefix snapshots for -warmstart")
+		warm     = flag.Bool("warmstart", false, "restore the longest stored trajectory prefix compatible with this run and publish new prefixes (needs -store; result is bit-identical to a cold run)")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -166,6 +169,9 @@ func main() {
 	defer stop()
 
 	if *async {
+		if *warm {
+			fatal(errors.New("-warmstart applies to plain session runs only (not -async)"))
+		}
 		if *scenario != "" {
 			// The async coordinator runner has its own speed/virtual-time
 			// model and never reads cfg.Fabric; dropping the flag silently
@@ -213,6 +219,40 @@ func main() {
 	}
 	if sink := progressSink(*progress); sink != nil {
 		sess.Subscribe(sink)
+	}
+	if *warm {
+		if *storeDir == "" {
+			fatal(errors.New("-warmstart requires -store"))
+		}
+		if *scenario != "" {
+			fatal(errors.New("-warmstart does not combine with -scenario (virtual-clock state is outside prefix snapshots)"))
+		}
+		// The spec captures every trajectory- and stopping-determining
+		// input, so prefix addresses can only collide between runs that
+		// would replay the same silent steps (DESIGN.md §10). Sync-time
+		// knobs (codecs, -jobs) are deliberately absent: that is the
+		// sharing the prefix family machinery makes safe.
+		var targets []float64
+		if *target > 0 {
+			targets = []float64{*target}
+		}
+		spec := runstore.Spec{
+			Experiment: "fdarun",
+			Seed:       *seed,
+			Model:      *model,
+			Strategy:   *strategy,
+			Theta:      th,
+			K:          *k,
+			Het:        *het,
+			Targets:    targets,
+			Extra: map[string]string{
+				"batch": strconv.Itoa(*batch),
+				"steps": strconv.Itoa(*steps),
+			},
+		}
+		if err := warmStart(sess, strat, cfg, *storeDir, spec); err != nil {
+			fatal(err)
+		}
 	}
 	res, err := sess.Run()
 	if err != nil && !errors.Is(err, context.Canceled) {

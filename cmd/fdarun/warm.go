@@ -1,0 +1,68 @@
+package main
+
+import (
+	"fmt"
+	"os"
+
+	"repro/fda"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/runstore"
+)
+
+// warmStart wires one plain session run into the trajectory-prefix
+// snapshot store (DESIGN.md §10): restore the longest stored prefix the
+// strategy can prove it would have produced itself, then publish the
+// run's own pre-first-sync prefixes for future invocations. The result
+// is bit-identical to a cold run — warm starts change wall clock, never
+// bytes. Store trouble costs reuse, not the run.
+func warmStart(sess *fda.Session, strat fda.Strategy, cfg fda.Config, dir string, spec runstore.Spec) error {
+	sharer, ok := strat.(core.PrefixSharer)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "fdarun: %s does not share trajectory prefixes; -warmstart has no effect\n", strat.Name())
+		return nil
+	}
+	st, err := runstore.Open(dir)
+	if err != nil {
+		return fmt.Errorf("opening store: %w", err)
+	}
+	prefix := spec.Prefix(sharer.PrefixFamily())
+
+	// baseGuard carries the restored manifest's guard into republished
+	// prefixes: the session never re-observes the restored steps'
+	// statistics, so its own running maximum restarts low.
+	var baseGuard float64
+	blob, m, found, err := st.BestSnapshot(prefix, cfg.MaxSteps, sharer.AcceptPrefix)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdarun: snapshot store: %v\n", err)
+	}
+	if found {
+		snap, err := checkpoint.Unmarshal(blob)
+		if err == nil {
+			err = sess.Restore(snap)
+		}
+		if err != nil {
+			return fmt.Errorf("restoring prefix %s@%d: %w", m.Hash, m.Steps, err)
+		}
+		baseGuard = m.Guard
+		fmt.Printf("warmstart: restored %d steps from prefix snapshot %s\n", m.Steps, m.Hash[:12])
+	}
+
+	every := cfg.EvalEvery
+	if every <= 0 {
+		every = 20 // the session's own EvalEvery default (core config)
+	}
+	return sess.PublishPrefixes(every, func(steps int, snap *checkpoint.Snapshot) {
+		guard := sharer.PrefixGuard()
+		if baseGuard > guard {
+			guard = baseGuard
+		}
+		blob, err := checkpoint.Marshal(snap)
+		if err == nil {
+			err = st.PutSnapshot(prefix, steps, guard, blob)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdarun: snapshot publish: %v\n", err)
+		}
+	})
+}

@@ -57,6 +57,8 @@ func main() {
 		storeDir = flag.String("store", "fdaserve-store", "run-registry directory backing the service")
 		jobs     = flag.Int("jobs", runtime.GOMAXPROCS(0), "concurrent sweep cells per run (results are identical at any setting)")
 		fabric   = flag.String("fabric", "", "TCP-fabric listen address for distributed train jobs (e.g. :9000); empty disables them")
+		warm     = flag.Bool("warmstart", true, "reuse trajectory-prefix snapshots across sweep cells sharing a trajectory (records stay bit-identical; wall clock drops)")
+		ttl      = flag.Duration("session-ttl", 7*24*time.Hour, "expire orphaned session checkpoints and prefix snapshots older than this at startup (0 disables the sweep)")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -77,8 +79,20 @@ func main() {
 	baseCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	// Startup hygiene: drop expired session checkpoints and prefix
+	// snapshots, then resurface journaled mid-run jobs as "interrupted".
+	if *ttl > 0 {
+		if n := sweepSessionCheckpoints(st.Dir(), *ttl); n > 0 {
+			fmt.Printf("fdaserve: expired %d orphaned session checkpoint(s)\n", n)
+		}
+		if n := st.SweepSnapshots(*ttl); n > 0 {
+			fmt.Printf("fdaserve: expired %d stale prefix snapshot(s)\n", n)
+		}
+	}
 	s := newServer(st, *jobs, baseCtx)
 	s.fabricAddr = *fabric
+	s.warm = *warm
+	s.recoverJournal()
 	srv := &http.Server{
 		Addr:    *addr,
 		Handler: s.routes(),

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -37,6 +38,8 @@ type server struct {
 	baseCtx context.Context
 	// journal records job status transitions in the store directory.
 	journal *journal
+	// warm enables trajectory-prefix snapshot reuse inside sweep jobs.
+	warm bool
 	// wg tracks in-flight job goroutines for shutdown draining.
 	wg sync.WaitGroup
 	// started anchors the /v1/metrics uptime.
@@ -75,11 +78,16 @@ func (s *server) drain() {
 }
 
 // Job status values. Transitions: running → done | failed | cancelled.
+// "interrupted" is assigned only at startup, to journaled jobs a
+// previous server process left mid-run; like failed and cancelled it
+// gives way to a resubmission of the same spec, which resumes from the
+// run registry or the session checkpoint.
 const (
-	statusRunning   = "running"
-	statusDone      = "done"
-	statusFailed    = "failed"
-	statusCancelled = "cancelled"
+	statusRunning     = "running"
+	statusDone        = "done"
+	statusFailed      = "failed"
+	statusCancelled   = "cancelled"
+	statusInterrupted = "interrupted"
 )
 
 // job is one submitted run: a figure sweep or a single training session.
@@ -125,6 +133,11 @@ type jobView struct {
 	Cells    int64 `json:"cells,omitempty"`
 	Cached   int64 `json:"cached,omitempty"`
 	Executed int64 `json:"executed,omitempty"`
+	// SnapshotHits/StepsSaved count a sweep's warm starts: cells that
+	// restored a trajectory-prefix snapshot, and the training steps those
+	// restores skipped.
+	SnapshotHits int64 `json:"snapshot_hits,omitempty"`
+	StepsSaved   int64 `json:"steps_saved,omitempty"`
 	// Steps/Syncs track a training session live; Resumed reports that it
 	// continued from a checkpoint of an earlier interrupted submission.
 	Steps   int64 `json:"steps,omitempty"`
@@ -146,6 +159,8 @@ func (j *job) view() jobView {
 		v.Cells = j.stats.Cells.Load()
 		v.Cached = j.stats.Cached.Load()
 		v.Executed = j.stats.Executed.Load()
+		v.SnapshotHits = j.stats.SnapshotHits.Load()
+		v.StepsSaved = j.stats.StepsSaved.Load()
 	}
 	if j.Kind == "train" {
 		v.Steps = j.steps.Load()
@@ -166,7 +181,7 @@ func (s *server) setStatus(j *job, status, errMsg string, result any) {
 	if status == statusDone && result != nil {
 		s.bytesSimulated.Add(simulatedBytes(result))
 	}
-	s.journal.record(j.view())
+	s.journal.record(j.view(), j.key)
 }
 
 // simulatedBytes extracts the communication accounting of a finished
@@ -261,14 +276,24 @@ type metricsView struct {
 		Done      int `json:"done"`
 		Failed    int `json:"failed"`
 		Cancelled int `json:"cancelled"`
-		Total     int `json:"total"`
+		// Interrupted counts journaled jobs a previous server process
+		// left mid-run (resurrected at startup).
+		Interrupted int `json:"interrupted"`
+		Total       int `json:"total"`
 	} `json:"jobs"`
 	// BytesSimulated totals the communication accounting of every job
 	// finished since the server started (training results and sweep
 	// records).
 	BytesSimulated int64 `json:"bytes_simulated"`
-	// StoreRuns counts the cached run manifests in the registry.
-	StoreRuns int `json:"store_runs"`
+	// StoreRuns counts the cached run manifests in the registry;
+	// StoreSnapshots the trajectory-prefix snapshots beside them.
+	StoreRuns      int `json:"store_runs"`
+	StoreSnapshots int `json:"store_snapshots"`
+	// SnapshotHits/StepsSaved total the warm-start reuse across every
+	// sweep job: cells restored from a prefix snapshot and the training
+	// steps those restores skipped.
+	SnapshotHits int64 `json:"snapshot_hits"`
+	StepsSaved   int64 `json:"steps_saved"`
 }
 
 // handleMetrics implements GET /v1/metrics: job counts by status,
@@ -280,7 +305,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.UptimeSec = time.Since(s.started).Seconds()
 	s.mu.Lock()
 	for _, j := range s.byID {
-		switch j.view().Status {
+		v := j.view()
+		switch v.Status {
 		case statusRunning:
 			m.Jobs.Running++
 		case statusDone:
@@ -289,12 +315,17 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			m.Jobs.Failed++
 		case statusCancelled:
 			m.Jobs.Cancelled++
+		case statusInterrupted:
+			m.Jobs.Interrupted++
 		}
 		m.Jobs.Total++
+		m.SnapshotHits += v.SnapshotHits
+		m.StepsSaved += v.StepsSaved
 	}
 	s.mu.Unlock()
 	m.BytesSimulated = s.bytesSimulated.Load()
 	m.StoreRuns = s.store.Count()
+	m.StoreSnapshots = s.store.SnapshotCount()
 	writeJSON(w, http.StatusOK, m)
 }
 
@@ -389,7 +420,7 @@ func (s *server) createJob(key string, init func(*job)) (*job, context.Context, 
 	s.mu.Lock()
 	if j, ok := s.byKey[key]; ok {
 		st := j.view().Status
-		if st != statusFailed && st != statusCancelled {
+		if st != statusFailed && st != statusCancelled && st != statusInterrupted {
 			s.mu.Unlock()
 			return j, nil, true
 		}
@@ -413,7 +444,7 @@ func (s *server) createJob(key string, init func(*job)) (*job, context.Context, 
 	s.mu.Unlock()
 	// Journal disk I/O happens outside s.mu so a slow disk cannot stall
 	// every status poll behind a submission.
-	s.journal.record(view)
+	s.journal.record(view, key)
 	return j, ctx, false
 }
 
@@ -437,6 +468,7 @@ func (s *server) executeSweep(j *job, scale experiments.Scale, ctx context.Conte
 		Jobs:  s.jobs,
 		Store: s.store,
 		Stats: j.stats,
+		Warm:  s.warm,
 		Ctx:   ctx,
 		Events: func(ce experiments.CellEvent) {
 			j.events.publish("cell", map[string]any{
@@ -557,7 +589,7 @@ func (s *server) handleRecords(w http.ResponseWriter, r *http.Request) {
 	switch status {
 	case statusRunning:
 		writeError(w, http.StatusConflict, "run still executing; poll /v1/runs/"+j.ID)
-	case statusFailed, statusCancelled:
+	case statusFailed, statusCancelled, statusInterrupted:
 		writeError(w, http.StatusConflict, "run "+status+"; see /v1/runs/"+j.ID)
 	default:
 		writeJSON(w, http.StatusOK, map[string]any{"id": j.ID, "records": result})
@@ -702,6 +734,10 @@ type journal struct {
 
 type journalEntry struct {
 	Time time.Time `json:"time"`
+	// Key is the job's dedupe key, journaled so a restarted server can
+	// re-register resurrected jobs under it (entries from before the key
+	// was journaled resurrect without one and simply never dedupe).
+	Key string `json:"key,omitempty"`
 	jobView
 }
 
@@ -709,13 +745,13 @@ func openJournal(dir string) *journal {
 	return &journal{path: dir + "/jobs.jsonl"}
 }
 
-func (jn *journal) record(v jobView) {
+func (jn *journal) record(v jobView, key string) {
 	jn.mu.Lock()
 	defer jn.mu.Unlock()
 	if jn.bad {
 		return
 	}
-	line, err := json.Marshal(journalEntry{Time: time.Now().UTC(), jobView: v})
+	line, err := json.Marshal(journalEntry{Time: time.Now().UTC(), Key: key, jobView: v})
 	if err != nil {
 		return
 	}
@@ -725,3 +761,128 @@ func (jn *journal) record(v jobView) {
 }
 
 func (jn *journal) close() {}
+
+// read parses the journal into one entry per job — the last journaled
+// transition wins, in first-seen job order. Unparseable lines (a torn
+// tail from a crash mid-append) are skipped, not fatal.
+func (jn *journal) read() ([]journalEntry, error) {
+	b, err := os.ReadFile(jn.path)
+	if err != nil {
+		return nil, err
+	}
+	var entries []journalEntry
+	index := map[string]int{}
+	for _, line := range strings.Split(string(b), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal([]byte(line), &e); err != nil || e.ID == "" {
+			continue
+		}
+		if i, ok := index[e.ID]; ok {
+			entries[i] = e
+		} else {
+			index[e.ID] = len(entries)
+			entries = append(entries, e)
+		}
+	}
+	return entries, nil
+}
+
+// compact atomically rewrites the journal to one line per job.
+func (jn *journal) compact(entries []journalEntry) {
+	jn.mu.Lock()
+	defer jn.mu.Unlock()
+	if jn.bad {
+		return
+	}
+	var b strings.Builder
+	for _, e := range entries {
+		line, err := json.Marshal(e)
+		if err != nil {
+			return
+		}
+		b.Write(line)
+		b.WriteByte('\n')
+	}
+	tmp := jn.path + ".tmp"
+	if err := os.WriteFile(tmp, []byte(b.String()), 0o644); err != nil {
+		jn.bad = true
+		return
+	}
+	if err := os.Rename(tmp, jn.path); err != nil {
+		jn.bad = true
+	}
+}
+
+// recoverJournal replays the job journal left by previous server
+// processes: jobs journaled mid-run resurface in /v1/runs as
+// "interrupted" (their keys give way to resubmissions, which resume
+// from the registry or session checkpoint), the ID counter continues
+// past every journaled ID, and the journal file is compacted to its
+// last entry per job. Called once, before the listener starts.
+func (s *server) recoverJournal() {
+	entries, err := s.journal.read()
+	if err != nil {
+		if !os.IsNotExist(err) {
+			fmt.Fprintf(os.Stderr, "fdaserve: reading job journal: %v\n", err)
+		}
+		return
+	}
+	s.mu.Lock()
+	for i, e := range entries {
+		var n int
+		if _, err := fmt.Sscanf(e.ID, "r%d", &n); err == nil && n > s.nextID {
+			s.nextID = n
+		}
+		if e.Status != statusRunning && e.Status != statusInterrupted {
+			continue // terminal in a past life; history only
+		}
+		e.Status = statusInterrupted
+		if e.Error == "" {
+			e.Error = "server exited mid-run; resubmit to resume"
+		}
+		entries[i] = e
+		j := resurrectJob(e)
+		s.byID[j.ID] = j
+		if j.key != "" {
+			s.byKey[j.key] = j
+		}
+		s.order = append(s.order, j.ID)
+	}
+	s.mu.Unlock()
+	s.journal.compact(entries)
+}
+
+// resurrectJob rebuilds a terminal job shell from its journal entry:
+// live machinery (done channel, event broker, cancel) is present but
+// already finished, so every handler treats it like any other
+// terminal job.
+func resurrectJob(e journalEntry) *job {
+	j := &job{
+		ID: e.ID, Kind: e.Kind, Experiment: e.Experiment, Scale: e.Scale, Seed: e.Seed,
+		key:    e.Key,
+		out:    &lockedBuffer{},
+		done:   make(chan struct{}),
+		cancel: func() {},
+		events: newBroker(),
+		status: e.Status,
+		errMsg: e.Error,
+	}
+	close(j.done)
+	j.events.close()
+	if e.Cells > 0 || e.Cached > 0 || e.Executed > 0 || e.SnapshotHits > 0 {
+		j.stats = &experiments.SweepStats{}
+		j.stats.Cells.Store(e.Cells)
+		j.stats.Cached.Store(e.Cached)
+		j.stats.Executed.Store(e.Executed)
+		j.stats.SnapshotHits.Store(e.SnapshotHits)
+		j.stats.StepsSaved.Store(e.StepsSaved)
+	}
+	j.steps.Store(e.Steps)
+	j.syncs.Store(e.Syncs)
+	j.resumed.Store(e.Resumed)
+	return j
+}

@@ -10,6 +10,8 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
@@ -245,21 +247,23 @@ func (s *server) executeTrainDistributed(j *job, req trainRequest, ctx context.C
 // restoring a prior interrupted submission's checkpoint when one exists
 // and writing one when this run is cancelled.
 func (s *server) executeTrain(j *job, cfg core.Config, strat core.Strategy, ctx context.Context) {
+	ckpt := s.checkpointPath(j.key)
 	defer s.wg.Done()
 	defer j.events.close()
 	defer close(j.done)
 	defer func() {
 		if r := recover(); r != nil {
+			os.Remove(ckpt)
 			s.setStatus(j, statusFailed, fmt.Sprintf("panic: %v", r), nil)
 		}
 	}()
 
 	sess, err := core.NewSession(ctx, cfg, strat)
 	if err != nil {
+		os.Remove(ckpt)
 		s.setStatus(j, statusFailed, err.Error(), nil)
 		return
 	}
-	ckpt := s.checkpointPath(j.key)
 	if snap, err := checkpoint.Load(ckpt); err == nil {
 		if err := sess.Restore(snap); err != nil {
 			// A stale or mismatched checkpoint must not poison the run:
@@ -302,8 +306,41 @@ func (s *server) executeTrain(j *job, cfg core.Config, strat core.Strategy, ctx 
 		}
 		s.setStatus(j, statusCancelled, err.Error(), nil)
 	default:
+		// A failed run leaves nothing to resume (re-running the same
+		// deterministic spec re-fails), so its checkpoint — left by an
+		// earlier cancellation of this spec — would be an orphan. Drop it:
+		// the sessions directory only ever holds resumable state.
+		os.Remove(ckpt)
 		s.setStatus(j, statusFailed, err.Error(), nil)
 	}
+}
+
+// sweepSessionCheckpoints removes session resume checkpoints older than
+// ttl from <store>/sessions. A checkpoint is only useful to a
+// resubmission of the same spec; one that has sat unclaimed past the
+// TTL is an orphan — its job was abandoned, or a crash skipped the
+// cleanup paths. Returns how many files were removed.
+func sweepSessionCheckpoints(storeDir string, ttl time.Duration) int {
+	dir := filepath.Join(storeDir, "sessions")
+	des, err := os.ReadDir(dir)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-ttl)
+	n := 0
+	for _, de := range des {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), ".ckpt") {
+			continue
+		}
+		info, err := de.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.Remove(filepath.Join(dir, de.Name())) == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // saveCheckpoint writes snap to path, creating the sessions directory on

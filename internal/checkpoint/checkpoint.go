@@ -9,6 +9,7 @@ package checkpoint
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/binary"
 	"fmt"
 	"hash/crc64"
@@ -351,6 +352,22 @@ func Load(path string) (*Snapshot, error) {
 	}
 	defer f.Close()
 	return Read(f)
+}
+
+// Marshal serializes a snapshot to the checkpoint wire format in
+// memory — the blob embedded in content-addressed stores (the run
+// registry's prefix snapshots).
+func Marshal(s *Snapshot) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := Write(&buf, s); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// Unmarshal decodes a blob produced by Marshal (or Write).
+func Unmarshal(b []byte) (*Snapshot, error) {
+	return Read(bytes.NewReader(b))
 }
 
 func dirOf(path string) string {

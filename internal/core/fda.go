@@ -21,6 +21,19 @@ import (
 //     begins.
 type fdaBase struct {
 	Theta float64
+
+	// maxStat tracks the running maximum of H over the run — the guard a
+	// prefix snapshot publishes so siblings can prove they would not have
+	// synchronized inside it (prefix.go). Maintained by each variant's
+	// AfterLocalStep; only its pre-first-sync values are ever consumed.
+	maxStat float64
+}
+
+// observe folds one step's statistic into the guard.
+func (b *fdaBase) observe(h float64) {
+	if h > b.maxStat {
+		b.maxStat = h
+	}
 }
 
 // SketchFDA is the AMS-sketch variant (paper §3.1, Theorem 3.1): the
@@ -124,7 +137,9 @@ func (s *SketchFDA) AfterLocalStep(env *Env, _ int) {
 	// state AllReduce below reduces in worker order on this goroutine.
 	env.ForEachWorker(s.body)
 	env.Fabric.AllReduceMean("state", s.meanSt, s.states)
-	if s.estimate() > s.Theta {
+	h := s.estimate()
+	s.observe(h)
+	if h > s.Theta {
 		env.SyncModels()
 	}
 }
@@ -213,6 +228,7 @@ func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
 	env.ForEachWorker(l.body)
 	env.Fabric.AllReduceMean("state", l.meanSt, l.states)
 	h := l.meanSt[0] - l.meanSt[1]*l.meanSt[1]
+	l.observe(h)
 	if h > l.Theta {
 		env.SyncModels()
 		if l.XiMode == "drift" && env.WPrev != nil {
@@ -265,7 +281,9 @@ func (o *OracleFDA) AfterLocalStep(env *Env, _ int) {
 	// Charge the same state traffic a two-scalar variant would use.
 	env.ForEachWorker(o.body)
 	env.Fabric.AllReduceMean("state", o.meanSt, o.states)
-	if env.ExactVarianceViaDrift() > o.Theta {
+	h := env.ExactVarianceViaDrift()
+	o.observe(h)
+	if h > o.Theta {
 		env.SyncModels()
 	}
 }

@@ -56,6 +56,13 @@ type Session struct {
 	// synchronization, so SyncEvent can report per-sync bytes.
 	modelBytesSeen int64
 
+	// prefixFn/prefixEvery implement the opt-in prefix-publication hook
+	// (PublishPrefixes). prefixFn is nil when disabled — the steady-state
+	// step then pays one pointer comparison and allocates nothing — and
+	// is cleared permanently at the first synchronization.
+	prefixFn    func(steps int, snap *checkpoint.Snapshot)
+	prefixEvery int
+
 	sinks []EventSink
 }
 
@@ -237,11 +244,50 @@ func (s *Session) Step() (bool, error) {
 			return false, s.finishErr
 		}
 	}
+	// Prefix publication sits after the eval block on purpose: the early
+	// returns above (target reached, divergence) mean a terminal step is
+	// never published, so every published prefix ends strictly before any
+	// early stop — a consumer restored from it cannot overshoot a finish
+	// its own cold run would have taken. The first synchronization ends
+	// the shared prefix and disarms the hook for good.
+	if s.prefixFn != nil {
+		if s.env.SyncCount > 0 {
+			s.prefixFn = nil
+		} else if t%s.prefixEvery == 0 {
+			if snap, err := s.snapshot(false); err == nil {
+				s.prefixFn(t, snap)
+			}
+		}
+	}
 	if t >= s.cfg.MaxSteps {
 		s.finish(nil)
 		return false, nil
 	}
 	return true, nil
+}
+
+// PublishPrefixes arms the trajectory-prefix publication hook: while
+// the session has not yet synchronized, fn receives a snapshot every
+// `every` completed steps. The snapshots deliberately omit strategy
+// state — before the first synchronization a PrefixSharer's state is
+// its Init state (prefix.go), which is what makes them consumable by
+// sibling cells with different sync-time parameters. fn runs
+// synchronously on the stepping goroutine; the hook disarms itself
+// permanently at the first synchronization. On a session already past
+// a synchronization (e.g. restored there) the call is a no-op.
+func (s *Session) PublishPrefixes(every int, fn func(steps int, snap *checkpoint.Snapshot)) error {
+	if every <= 0 {
+		return fmt.Errorf("core: PublishPrefixes cadence %d", every)
+	}
+	if fn == nil {
+		return fmt.Errorf("core: PublishPrefixes with nil sink")
+	}
+	if s.env.SyncCount > 0 {
+		return nil
+	}
+	s.prefixEvery = every
+	s.prefixFn = fn
+	return nil
 }
 
 // evaluate scores the averaged global model at step t.
@@ -343,7 +389,15 @@ func (s *Session) NumParams() int { return s.env.D }
 // strategy state — into a version-2 checkpoint. A session restored from
 // it continues bit-identically to one that never stopped. Snapshot must
 // be called between steps (never from an event sink).
-func (s *Session) Snapshot() (*checkpoint.Snapshot, error) {
+func (s *Session) Snapshot() (*checkpoint.Snapshot, error) { return s.snapshot(true) }
+
+// snapshot builds the checkpoint; withStrategy selects whether
+// resumable strategy state is captured. Full checkpoints capture it;
+// prefix snapshots (PublishPrefixes) omit it, because before the first
+// synchronization a PrefixSharer's state is provably its Init state —
+// omitting it is what lets a sibling cell with a different Θ or τ
+// restore the snapshot under its own freshly initialized strategy.
+func (s *Session) snapshot(withStrategy bool) (*checkpoint.Snapshot, error) {
 	env := s.env
 	snap := &checkpoint.Snapshot{Step: int64(s.t)}
 	snap.Params = make([]float64, env.D)
@@ -390,7 +444,7 @@ func (s *Session) Snapshot() (*checkpoint.Snapshot, error) {
 
 	s.snapshotHistory(snap)
 
-	if r, ok := s.strat.(resumable); ok {
+	if r, ok := s.strat.(resumable); ok && withStrategy {
 		vecs, counters := r.StateSnapshot()
 		snap.AddU64("strat.nv", uint64(len(vecs)))
 		snap.AddU64("strat.nc", uint64(len(counters)))
@@ -526,18 +580,26 @@ func (s *Session) Restore(snap *checkpoint.Snapshot) error {
 	}
 
 	if r, ok := s.strat.(resumable); ok {
-		nv, _ := snap.U64("strat.nv")
-		nc, _ := snap.U64("strat.nc")
-		vecs := make([][]float64, nv)
-		for i := range vecs {
-			vecs[i] = snap.Vec(fmt.Sprintf("strat.v%d", i))
-		}
-		counters := make([]uint64, nc)
-		for i := range counters {
-			counters[i], _ = snap.U64(fmt.Sprintf("strat.c%d", i))
-		}
-		if err := r.RestoreState(vecs, counters); err != nil {
-			return fmt.Errorf("core: strategy state: %w", err)
+		// Prefix snapshots carry no strategy sections at all: before the
+		// first synchronization a PrefixSharer's state equals its Init
+		// state, so there is nothing to restore — and restoring zeros
+		// would be wrong for strategies whose Init state is not zero
+		// (FedOpt's global model). Presence of the shape counter is what
+		// distinguishes the two snapshot kinds.
+		if _, hasStrat := snap.U64("strat.nv"); hasStrat {
+			nv, _ := snap.U64("strat.nv")
+			nc, _ := snap.U64("strat.nc")
+			vecs := make([][]float64, nv)
+			for i := range vecs {
+				vecs[i] = snap.Vec(fmt.Sprintf("strat.v%d", i))
+			}
+			counters := make([]uint64, nc)
+			for i := range counters {
+				counters[i], _ = snap.U64(fmt.Sprintf("strat.c%d", i))
+			}
+			if err := r.RestoreState(vecs, counters); err != nil {
+				return fmt.Errorf("core: strategy state: %w", err)
+			}
 		}
 	}
 

@@ -78,6 +78,16 @@ type Options struct {
 	// Stats, when non-nil, accumulates cell-scheduling counters
 	// (total/cached/executed) across the runner's grids.
 	Stats *SweepStats
+	// Warm enables prefix-keyed snapshot reuse (DESIGN.md §10): before a
+	// miss cell trains from step 0, the planner restores the longest
+	// stored trajectory prefix compatible with the cell and runs only the
+	// divergent tail, publishing prefixes for sibling cells as it goes.
+	// Requires Store (ignored without one); records are bit-identical
+	// either way — warm starts change wall clock, never bytes.
+	Warm bool
+	// WarmEvery is the prefix publication cadence in steps; 0 selects
+	// each cell's evaluation cadence.
+	WarmEvery int
 }
 
 func (o Options) out() io.Writer {
@@ -194,6 +204,16 @@ func modelBudget(name string) (maxSteps, evalEvery int) {
 // for nested targets.
 func runToTargets(fig string, w workload, strategyName string, theta float64,
 	k int, het data.Heterogeneity, targets []float64, seed uint64) []Record {
+	return runToTargetsWarm(fig, w, strategyName, theta, k, het, targets, seed, nil)
+}
+
+// runToTargetsWarm is runToTargets with an optional warm-start context:
+// a non-nil warm consults the snapshot store for the longest reusable
+// trajectory prefix and publishes prefixes for sibling cells (warm.go).
+// The records are bit-identical to a cold run's by the prefix-sharing
+// safety argument (DESIGN.md §10).
+func runToTargetsWarm(fig string, w workload, strategyName string, theta float64,
+	k int, het data.Heterogeneity, targets []float64, seed uint64, warm *cellWarm) []Record {
 
 	maxT := targets[0]
 	for _, t := range targets[1:] {
@@ -204,7 +224,7 @@ func runToTargets(fig string, w workload, strategyName string, theta float64,
 	maxSteps, evalEvery := modelBudget(w.spec.Name)
 	cfg := w.baseConfig(k, seed, maxSteps, evalEvery, maxT, het)
 	strat := strategyFor(strategyName, theta, cfg)
-	res := core.MustRun(cfg, strat)
+	res := runWarm(cfg, strat, warm)
 
 	recs := make([]Record, 0, len(targets))
 	for _, target := range targets {

@@ -55,8 +55,12 @@ func cloudFigure(cs cloudSpec, o Options) []Record {
 		for _, strat := range cs.strategies {
 			for _, k := range ks {
 				if isFDA(strat) {
+					// One trajectory seed for the whole Θ series (see
+					// sweepFigure's bottom panel): Θ only decides when the
+					// first synchronization fires, so the series' cells are
+					// prefix-siblings under Options.Warm.
+					seed++
 					for _, th := range thetas {
-						seed++
 						cells = append(cells, cell{het, strat, th, k, seed})
 					}
 				} else {
@@ -73,7 +77,8 @@ func cloudFigure(cs cloudSpec, o Options) []Record {
 	}
 	recs := flatten(runGrid(o, specs, func(i int) []Record {
 		c := cells[i]
-		return runToTargets(cs.figure, lw.get(), c.strat, c.theta, c.k, c.het, cs.targets, c.seed)
+		return runToTargetsWarm(cs.figure, lw.get(), c.strat, c.theta, c.k, c.het,
+			cs.targets, c.seed, o.warmCell(specs[i]))
 	}))
 	printRecords(o.out(), cs.figure+" — "+lw.spec.PaperModel+" ("+cs.model+")", recs)
 	summarize(o.out(), recs)

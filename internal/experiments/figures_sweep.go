@@ -60,10 +60,14 @@ func sweepFigure(ss sweepSpec, o Options) []Record {
 			cells = append(cells, cell{ss.figure + "-K", strat, th, k, seed})
 		}
 	}
-	// Bottom panels: cost vs Θ at fixed K for the FDA variants.
+	// Bottom panels: cost vs Θ at fixed K for the FDA variants. All
+	// cells of one variant's Θ series share a single trajectory seed — Θ
+	// only decides when the first synchronization fires, so the cells are
+	// prefix-siblings and, with Options.Warm, serve each other trajectory
+	// snapshots instead of all training from step 0.
 	for _, strat := range []string{"LinearFDA", "SketchFDA"} {
+		seed++
 		for _, th := range thetas {
-			seed++
 			cells = append(cells, cell{ss.figure + "-Theta", strat, th, fixedK, seed})
 		}
 	}
@@ -73,7 +77,8 @@ func sweepFigure(ss sweepSpec, o Options) []Record {
 	}
 	recs := flatten(runGrid(o, specs, func(i int) []Record {
 		c := cells[i]
-		return runToTargets(c.figure, lw.get(), c.strat, c.theta, c.k, data.IID(), targets, c.seed)
+		return runToTargetsWarm(c.figure, lw.get(), c.strat, c.theta, c.k, data.IID(),
+			targets, c.seed, o.warmCell(specs[i]))
 	}))
 	printRecords(o.out(), fmt.Sprintf("%s — %s: cost vs K (Θ=%.3f) and vs Θ (K=%d), target %.2f",
 		ss.figure, lw.spec.PaperModel, fixedTheta, fixedK, ss.target), recs)

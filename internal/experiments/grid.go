@@ -21,6 +21,10 @@ type SweepStats struct {
 	// Cells is the total grid size seen so far; Cached of those were
 	// served from the run registry and Executed were computed.
 	Cells, Cached, Executed atomic.Int64
+	// SnapshotHits counts executed cells that warm-started from a stored
+	// trajectory-prefix snapshot; StepsSaved totals the training steps
+	// those restores skipped. Both stay zero unless Options.Warm is on.
+	SnapshotHits, StepsSaved atomic.Int64
 }
 
 // cellSpec builds the canonical registry spec for one grid cell. Every
@@ -91,9 +95,18 @@ func runGrid[R any](o Options, specs []runstore.Spec, compute func(i int) []R) [
 			return recs
 		}
 	}
+	// Warm-start counters tick inside compute (runWarm), invisible to
+	// MapCtx; snapshot the totals so this grid's deltas can be folded
+	// into its MapResult.
+	var hits0, saved0 int64
+	if o.Stats != nil {
+		hits0, saved0 = o.Stats.SnapshotHits.Load(), o.Stats.StepsSaved.Load()
+	}
 	perCell, res, err := runstore.MapCtx(o.Ctx, o.Store, o.Jobs, specs, track)
 	if o.Stats != nil {
 		o.Stats.Cached.Add(int64(res.Cached))
+		res.SnapshotHits = int(o.Stats.SnapshotHits.Load() - hits0)
+		res.StepsSaved = int(o.Stats.StepsSaved.Load() - saved0)
 	}
 	cancelled := err != nil && o.Ctx != nil && errors.Is(err, o.Ctx.Err())
 	if o.Events != nil {

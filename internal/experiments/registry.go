@@ -42,6 +42,8 @@ var auxRunners = []Runner{
 		func(o Options) any { return Smoke(o) }},
 	{"netsweep", "network-scenario sweep — estimated time-to-accuracy on the simulated fabric across deployment scenarios (no paper artifact)",
 		func(o Options) any { return NetSweep(o) }},
+	{"thetasweep", "Θ sweep with shared trajectory seeds — the warm-start showcase grid (no paper artifact)",
+		func(o Options) any { return ThetaSweep(o) }},
 }
 
 // registry is the full dispatch index (paper runners first).

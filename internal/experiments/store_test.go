@@ -148,7 +148,7 @@ func TestRegistry(t *testing.T) {
 		t.Fatalf("paper runner names: %v", paper)
 	}
 	names := Names()
-	if len(names) != len(paper)+2 || names[len(names)-2] != "smoke" || names[len(names)-1] != "netsweep" {
+	if len(names) != len(paper)+3 || names[len(names)-3] != "smoke" || names[len(names)-1] != "thetasweep" {
 		t.Fatalf("registry names: %v", names)
 	}
 	for _, name := range names {

@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runstore"
+)
+
+// TestSweepWarmStartParityAndHits is the warm-start acceptance test at
+// the sweep level: with Options.Warm, the Θ panel's shared-seed cells
+// must restore each other's trajectory prefixes (hits > 0, steps
+// saved > 0) while the records and rendered output stay byte-identical
+// to a storeless cold sweep.
+func TestSweepWarmStartParityAndHits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	spec := sweepSpec{figure: "wtest-sweep", model: "lenet5s", target: 0.5,
+		strategies: []string{"LinearFDA"}}
+	run := func(o Options) ([]Record, string, *SweepStats) {
+		var b strings.Builder
+		stats := &SweepStats{}
+		o.Out, o.Stats = &b, stats
+		return sweepFigure(spec, o), b.String(), stats
+	}
+
+	baseRecs, baseOut, _ := run(Options{Scale: Tiny, Seed: 4})
+
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential on purpose: in grid order every Θ-panel cell publishes
+	// before its sibling dispatches, so the hit counts are deterministic.
+	warmRecs, warmOut, warmStats := run(Options{
+		Scale: Tiny, Seed: 4, Store: st, Warm: true, WarmEvery: 1,
+	})
+	if !reflect.DeepEqual(baseRecs, warmRecs) {
+		t.Fatalf("warm sweep records diverged from cold:\ncold: %+v\nwarm: %+v", baseRecs, warmRecs)
+	}
+	if baseOut != warmOut {
+		t.Fatalf("warm sweep output diverged:\n--- cold ---\n%s\n--- warm ---\n%s", baseOut, warmOut)
+	}
+	// The Θ panel holds two shared-seed series (LinearFDA, SketchFDA) of
+	// two cells each: the second cell of each series must warm-start.
+	if hits := warmStats.SnapshotHits.Load(); hits < 2 {
+		t.Fatalf("snapshot hits = %d, want >= 2", hits)
+	}
+	if saved := warmStats.StepsSaved.Load(); saved <= 0 {
+		t.Fatalf("steps saved = %d, want > 0", saved)
+	}
+	if n := st.SnapshotCount(); n == 0 {
+		t.Fatal("warm sweep published no snapshots")
+	}
+
+	// A repeat of the same sweep is served by the run registry outright —
+	// warm starts never interfere with whole-cell caching.
+	againRecs, _, againStats := run(Options{
+		Scale: Tiny, Seed: 4, Store: st, Warm: true, WarmEvery: 1,
+	})
+	if got := againStats.Executed.Load(); got != 0 {
+		t.Fatalf("cached rerun executed %d cells", got)
+	}
+	if !reflect.DeepEqual(baseRecs, againRecs) {
+		t.Fatal("cached rerun records diverged")
+	}
+}
+
+// TestThetaSweepWarmMatchesCold pins the showcase runner itself: records
+// from a warm store-backed ThetaSweep equal a storeless cold run's, and
+// the grid's MapResult-style counters surface through SweepStats.
+func TestThetaSweepWarmMatchesCold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-run experiment")
+	}
+	run := func(st *runstore.Store, warm bool) ([]Record, *SweepStats) {
+		stats := &SweepStats{}
+		recs := ThetaSweep(Options{Scale: Tiny, Seed: 6, Store: st, Warm: warm,
+			WarmEvery: 1, Stats: stats})
+		return recs, stats
+	}
+	coldRecs, _ := run(nil, false)
+
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	warmRecs, warmStats := run(st, true)
+	if !reflect.DeepEqual(coldRecs, warmRecs) {
+		t.Fatalf("thetasweep warm records diverged:\ncold: %+v\nwarm: %+v", coldRecs, warmRecs)
+	}
+	if hits := warmStats.SnapshotHits.Load(); hits == 0 {
+		t.Fatal("thetasweep warm run restored no prefixes")
+	}
+}

@@ -17,6 +17,12 @@ type MapResult struct {
 	// Cached + Executed = Cells; under cancellation Executed counts only
 	// the cells that finished before the context fired.
 	Cells, Cached, Executed int
+	// SnapshotHits counts executed cells that warm-started from a stored
+	// trajectory-prefix snapshot and StepsSaved the training steps those
+	// restores skipped. Map cannot observe this itself — warm starts
+	// happen inside compute — so warm-start-aware planners (experiments'
+	// runGrid) fill the fields in; they stay zero otherwise.
+	SnapshotHits, StepsSaved int
 }
 
 // Map is the store-aware sweep scheduler. It evaluates one grid of

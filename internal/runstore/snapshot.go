@@ -1,0 +1,299 @@
+package runstore
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/crc64"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"time"
+)
+
+// SnapshotManifestVersion gates the on-disk layout of a prefix
+// snapshot.
+const SnapshotManifestVersion = 1
+
+// SnapshotManifest describes one stored trajectory-prefix snapshot. It
+// lives next to the checkpoint blob and carries everything a planner
+// needs to pick a snapshot without reading the blob.
+type SnapshotManifest struct {
+	ManifestVersion int `json:"manifest_version"`
+	// Hash is the prefix address (PrefixSpec.Hash); Steps the number of
+	// completed global steps the blob captures.
+	Hash   string     `json:"hash"`
+	Prefix PrefixSpec `json:"prefix"`
+	Steps  int        `json:"steps"`
+	// Guard is the running maximum of the publishing strategy's sync
+	// statistic over steps 1..Steps. A consumer with threshold Θ may
+	// restore this snapshot only if Guard ≤ Θ — the exact complement of
+	// the strict h > Θ sync trigger — which proves it would not have
+	// synchronized anywhere in the prefix either (DESIGN.md §10).
+	// Schedule-driven families ignore it (always 0) and gate on Steps.
+	Guard float64 `json:"guard"`
+	// Bytes is the blob size; CRC64 (ECMA, hex) covers the blob exactly.
+	Bytes int64  `json:"bytes"`
+	CRC64 string `json:"crc64"`
+	// CreatedUnix is informational and drives age-based GC only.
+	CreatedUnix int64 `json:"created_unix"`
+}
+
+// snapDir maps a prefix address and step count to the snapshot's
+// directory: <dir>/snapshots/<hh>/<hash>/<steps>. Keeping steps as a
+// directory level (not part of the hash) makes all snapshots of one
+// trajectory enumerable with a single readdir.
+func (s *Store) snapDir(hash string, steps int) string {
+	return filepath.Join(s.dir, "snapshots", hash[:2], hash, strconv.Itoa(steps))
+}
+
+// PutSnapshot stores a checkpoint blob as the prefix snapshot of p at
+// the given step count, replacing any existing one. Writes are staged
+// and renamed exactly like Put: concurrent publishers of the same
+// (prefix, steps) write byte-identical state (determinism) and equal
+// guards (the guard is a pure function of the trajectory), so losing
+// the rename race is success.
+func (s *Store) PutSnapshot(p PrefixSpec, steps int, guard float64, blob []byte) error {
+	if steps <= 0 {
+		return fmt.Errorf("runstore: snapshot at non-positive step %d", steps)
+	}
+	p = p.Canonical()
+	m := SnapshotManifest{
+		ManifestVersion: SnapshotManifestVersion,
+		Hash:            p.Hash(),
+		Prefix:          p,
+		Steps:           steps,
+		Guard:           guard,
+		Bytes:           int64(len(blob)),
+		CRC64:           fmt.Sprintf("%016x", crc64.Checksum(blob, crcTable)),
+		CreatedUnix:     time.Now().Unix(),
+	}
+	mb, err := json.MarshalIndent(m, "", "  ")
+	if err != nil {
+		return fmt.Errorf("runstore: %v", err)
+	}
+	return s.installStaged(map[string][]byte{
+		"state.ckpt":    blob,
+		"manifest.json": mb,
+	}, s.snapDir(m.Hash, steps))
+}
+
+// loadSnapshotManifest reads and structurally verifies the snapshot
+// manifest in dir against the expected address and step count. Like
+// loadManifest it never touches the blob; the error wraps ErrCorrupt
+// for anything but a missing manifest.
+func loadSnapshotManifest(dir, hash string, steps int) (SnapshotManifest, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return SnapshotManifest{}, err
+		}
+		return SnapshotManifest{}, fmt.Errorf("%w: reading snapshot manifest: %v", ErrCorrupt, err)
+	}
+	var m SnapshotManifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return SnapshotManifest{}, fmt.Errorf("%w: decoding snapshot manifest: %v", ErrCorrupt, err)
+	}
+	if m.ManifestVersion != SnapshotManifestVersion {
+		return SnapshotManifest{}, fmt.Errorf("%w: snapshot manifest version %d, want %d",
+			ErrCorrupt, m.ManifestVersion, SnapshotManifestVersion)
+	}
+	if m.Hash != hash || m.Steps != steps || m.Prefix.Canonical().Hash() != hash {
+		return SnapshotManifest{}, fmt.Errorf("%w: snapshot manifest does not match its address", ErrCorrupt)
+	}
+	return m, nil
+}
+
+// readSnapshotBlob loads and CRC-verifies dir's checkpoint blob
+// against its manifest.
+func readSnapshotBlob(dir string, m SnapshotManifest) ([]byte, error) {
+	blob, err := os.ReadFile(filepath.Join(dir, "state.ckpt"))
+	if err != nil {
+		return nil, fmt.Errorf("%w: reading snapshot blob: %v", ErrCorrupt, err)
+	}
+	if int64(len(blob)) != m.Bytes || fmt.Sprintf("%016x", crc64.Checksum(blob, crcTable)) != m.CRC64 {
+		return nil, fmt.Errorf("%w: snapshot blob fails CRC", ErrCorrupt)
+	}
+	return blob, nil
+}
+
+// GetSnapshot loads the snapshot stored for p at exactly steps. ok is
+// false on a miss; a non-nil error wrapping ErrCorrupt additionally
+// reports an entry that exists but failed verification.
+func (s *Store) GetSnapshot(p PrefixSpec, steps int) ([]byte, SnapshotManifest, bool, error) {
+	hash := p.Canonical().Hash()
+	dir := s.snapDir(hash, steps)
+	m, err := loadSnapshotManifest(dir, hash, steps)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil, SnapshotManifest{}, false, nil
+		}
+		return nil, SnapshotManifest{}, false, err
+	}
+	blob, err := readSnapshotBlob(dir, m)
+	if err != nil {
+		return nil, SnapshotManifest{}, false, err
+	}
+	return blob, m, true, nil
+}
+
+// BestSnapshot returns the longest stored prefix of p with steps ≤
+// maxSteps that accept admits, reading (and CRC-verifying) only the
+// blob it selects. accept receives the candidate's step count and
+// guard; a nil accept admits everything. Corrupt candidates are
+// skipped — the first such error is reported alongside whatever result
+// the scan still found, so callers can fall back to a cold start while
+// surfacing the damage.
+func (s *Store) BestSnapshot(p PrefixSpec, maxSteps int, accept func(steps int, guard float64) bool) ([]byte, SnapshotManifest, bool, error) {
+	hash := p.Canonical().Hash()
+	base := filepath.Join(s.dir, "snapshots", hash[:2], hash)
+	entries, err := os.ReadDir(base)
+	if err != nil {
+		return nil, SnapshotManifest{}, false, nil
+	}
+	var steps []int
+	for _, e := range entries {
+		n, convErr := strconv.Atoi(e.Name())
+		if convErr != nil || !e.IsDir() || n <= 0 || n > maxSteps {
+			continue
+		}
+		steps = append(steps, n)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(steps)))
+	var firstErr error
+	for _, n := range steps {
+		dir := filepath.Join(base, strconv.Itoa(n))
+		m, err := loadSnapshotManifest(dir, hash, n)
+		if err != nil {
+			if firstErr == nil && !os.IsNotExist(err) {
+				firstErr = err
+			}
+			continue
+		}
+		if accept != nil && !accept(m.Steps, m.Guard) {
+			continue
+		}
+		blob, err := readSnapshotBlob(dir, m)
+		if err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		return blob, m, true, firstErr
+	}
+	return nil, SnapshotManifest{}, false, firstErr
+}
+
+// SnapshotCount returns the number of stored prefix snapshots by
+// walking directory names only — the cheap counterpart of Snapshots,
+// for periodic monitors (fdaserve's /v1/metrics).
+func (s *Store) SnapshotCount() int {
+	n := 0
+	s.eachSnapshotDir(func(string) bool { n++; return true })
+	return n
+}
+
+// Snapshots returns the manifests of every structurally verified
+// snapshot, sorted by (experiment, model, family, steps, hash) so
+// listings are stable. Blob CRCs are deferred to Get/BestSnapshot,
+// mirroring List.
+func (s *Store) Snapshots() ([]SnapshotManifest, error) {
+	var out []SnapshotManifest
+	s.eachSnapshotDir(func(dir string) bool {
+		mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err != nil {
+			return true
+		}
+		var m SnapshotManifest
+		if err := json.Unmarshal(mb, &m); err != nil {
+			return true
+		}
+		if m.ManifestVersion != SnapshotManifestVersion || m.Prefix.Canonical().Hash() != m.Hash {
+			return true
+		}
+		fi, err := os.Stat(filepath.Join(dir, "state.ckpt"))
+		if err != nil || fi.Size() != m.Bytes {
+			return true
+		}
+		out = append(out, m)
+		return true
+	})
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.Prefix.Experiment != b.Prefix.Experiment {
+			return a.Prefix.Experiment < b.Prefix.Experiment
+		}
+		if a.Prefix.Model != b.Prefix.Model {
+			return a.Prefix.Model < b.Prefix.Model
+		}
+		if a.Prefix.Family != b.Prefix.Family {
+			return a.Prefix.Family < b.Prefix.Family
+		}
+		if a.Steps != b.Steps {
+			return a.Steps < b.Steps
+		}
+		return a.Hash < b.Hash
+	})
+	return out, nil
+}
+
+// SweepSnapshots is the snapshot GC policy: it removes every snapshot
+// older than maxAge (by manifest CreatedUnix; unreadable manifests
+// count as infinitely old) and returns how many were removed.
+// Snapshots are pure accelerators — deleting one can never change a
+// result, only cost a warm start — so age-based expiry is always safe.
+func (s *Store) SweepSnapshots(maxAge time.Duration) int {
+	cutoff := time.Now().Add(-maxAge).Unix()
+	n := 0
+	s.eachSnapshotDir(func(dir string) bool {
+		mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+		if err == nil {
+			var m SnapshotManifest
+			if json.Unmarshal(mb, &m) == nil && m.CreatedUnix > cutoff {
+				return true
+			}
+		}
+		if os.RemoveAll(dir) == nil {
+			n++
+		}
+		return true
+	})
+	return n
+}
+
+// eachSnapshotDir walks <dir>/snapshots/<hh>/<hash>/<steps> and calls
+// fn with every step directory; fn returns false to stop early.
+func (s *Store) eachSnapshotDir(fn func(dir string) bool) {
+	root := filepath.Join(s.dir, "snapshots")
+	shards, err := os.ReadDir(root)
+	if err != nil {
+		return
+	}
+	for _, shard := range shards {
+		if !shard.IsDir() {
+			continue
+		}
+		hashes, err := os.ReadDir(filepath.Join(root, shard.Name()))
+		if err != nil {
+			continue
+		}
+		for _, h := range hashes {
+			if !h.IsDir() {
+				continue
+			}
+			steps, err := os.ReadDir(filepath.Join(root, shard.Name(), h.Name()))
+			if err != nil {
+				continue
+			}
+			for _, st := range steps {
+				if !st.IsDir() {
+					continue
+				}
+				if !fn(filepath.Join(root, shard.Name(), h.Name(), st.Name())) {
+					return
+				}
+			}
+		}
+	}
+}

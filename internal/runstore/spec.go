@@ -93,3 +93,81 @@ func (s Spec) Hash() string {
 	sum := sha256.Sum256(s.Encode())
 	return hex.EncodeToString(sum[:])
 }
+
+// PrefixSpec addresses a trajectory prefix: the inputs that determine a
+// run bit-for-bit up to (and only up to) the first synchronization. It
+// is a Spec with the sync-time-acting coordinates (Strategy, Theta)
+// replaced by a Family label naming the class of strategies whose
+// pre-first-sync behaviour is identical — see core.PrefixSharer for the
+// classification and DESIGN.md §10 for the safety argument. Cells whose
+// specs differ only within a family share a prefix address, which is
+// what lets a warm start serve one cell from a sibling's snapshot.
+//
+// The step count deliberately lives outside the hash (it is the
+// directory level below the prefix address), so all snapshots of one
+// trajectory are enumerable under a single address.
+type PrefixSpec struct {
+	// Version tracks SpecVersion: a numerics change that invalidates run
+	// entries invalidates trajectory prefixes for the same reason.
+	Version    int    `json:"v"`
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale,omitempty"`
+	Seed       uint64 `json:"seed"`
+	Model      string `json:"model,omitempty"`
+	// Family replaces Spec.Strategy/Theta: every strategy in a family
+	// produces the same trajectory while it has not yet synchronized.
+	Family string `json:"family"`
+	K      int    `json:"k,omitempty"`
+	Het    string `json:"het,omitempty"`
+	// Targets stays in the prefix address even though it only decides
+	// when a run *stops*: snapshots are never published at a stopping
+	// step, but keeping the field makes the address strictly finer than
+	// necessary rather than relying on that invariant alone.
+	Targets  []float64         `json:"targets,omitempty"`
+	CellSeed uint64            `json:"cell_seed,omitempty"`
+	Extra    map[string]string `json:"extra,omitempty"`
+}
+
+// Prefix derives the prefix address of this spec's trajectory for the
+// given strategy family.
+func (s Spec) Prefix(family string) PrefixSpec {
+	s = s.Canonical()
+	return PrefixSpec{
+		Version:    s.Version,
+		Experiment: s.Experiment,
+		Scale:      s.Scale,
+		Seed:       s.Seed,
+		Model:      s.Model,
+		Family:     family,
+		K:          s.K,
+		Het:        s.Het,
+		Targets:    s.Targets,
+		CellSeed:   s.CellSeed,
+		Extra:      s.Extra,
+	}
+}
+
+// Canonical returns the prefix spec with defaults applied.
+func (p PrefixSpec) Canonical() PrefixSpec {
+	if p.Version == 0 {
+		p.Version = SpecVersion
+	}
+	return p
+}
+
+// Encode returns the canonical JSON encoding, with the same platform
+// guarantees as Spec.Encode.
+func (p PrefixSpec) Encode() []byte {
+	b, err := json.Marshal(p.Canonical())
+	if err != nil {
+		panic(fmt.Sprintf("runstore: encoding prefix spec: %v", err))
+	}
+	return b
+}
+
+// Hash returns the prefix address: hex SHA-256 of the canonical
+// encoding.
+func (p PrefixSpec) Hash() string {
+	sum := sha256.Sum256(p.Encode())
+	return hex.EncodeToString(sum[:])
+}

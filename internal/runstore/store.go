@@ -51,15 +51,48 @@ type Store struct {
 	dir string
 }
 
+// stagingMaxAge is how old a staging directory must be before Open
+// garbage-collects it. A live Put stages for milliseconds; anything
+// this old is debris from a writer killed between MkdirTemp and its
+// deferred RemoveAll.
+const stagingMaxAge = time.Hour
+
 // Open opens the store rooted at dir, creating the directory tree as
-// needed.
+// needed. Stale staging directories — left behind by writers killed
+// mid-Put — are swept; the age gate keeps concurrent live writers'
+// stages untouched.
 func Open(dir string) (*Store, error) {
 	for _, d := range []string{dir, filepath.Join(dir, "runs"), filepath.Join(dir, "tmp")} {
 		if err := os.MkdirAll(d, 0o755); err != nil {
 			return nil, fmt.Errorf("runstore: %w", err)
 		}
 	}
-	return &Store{dir: dir}, nil
+	s := &Store{dir: dir}
+	s.sweepStaging(stagingMaxAge)
+	return s, nil
+}
+
+// sweepStaging removes staging entries older than maxAge from
+// <dir>/tmp and returns how many it removed. Entries it cannot stat or
+// remove are skipped — they will be retried by the next Open.
+func (s *Store) sweepStaging(maxAge time.Duration) int {
+	tmp := filepath.Join(s.dir, "tmp")
+	entries, err := os.ReadDir(tmp)
+	if err != nil {
+		return 0
+	}
+	cutoff := time.Now().Add(-maxAge)
+	n := 0
+	for _, e := range entries {
+		info, err := e.Info()
+		if err != nil || info.ModTime().After(cutoff) {
+			continue
+		}
+		if os.RemoveAll(filepath.Join(tmp, e.Name())) == nil {
+			n++
+		}
+	}
+	return n
 }
 
 // Dir returns the store's root directory.
@@ -71,9 +104,47 @@ func (s *Store) runDir(hash string) string {
 }
 
 // Contains reports whether the store holds a verified entry for spec.
+// Verification is the cheap structural kind (loadManifest plus a size
+// stat): full CRC coverage of the records bytes is deferred to Get,
+// which reads them anyway — so Contains stays O(1) in store bytes
+// instead of re-reading the records file per call.
 func (s *Store) Contains(spec Spec) bool {
-	_, ok, _ := s.Get(spec)
-	return ok
+	spec = spec.Canonical()
+	hash := spec.Hash()
+	dir := s.runDir(hash)
+	m, err := loadManifest(dir)
+	if err != nil || m.Hash != hash {
+		return false
+	}
+	fi, err := os.Stat(filepath.Join(dir, "records.jsonl"))
+	return err == nil && fi.Size() == m.Bytes
+}
+
+// loadManifest reads dir/manifest.json and verifies it is internally
+// consistent: current version, and a spec that re-hashes to the
+// recorded address (rejecting hand-edited entries and theoretical
+// collisions). It does not touch the records file; the returned error
+// wraps ErrCorrupt for anything but a missing manifest.
+func loadManifest(dir string) (Manifest, error) {
+	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return Manifest{}, err
+		}
+		return Manifest{}, fmt.Errorf("%w: reading manifest: %v", ErrCorrupt, err)
+	}
+	var m Manifest
+	if err := json.Unmarshal(mb, &m); err != nil {
+		return Manifest{}, fmt.Errorf("%w: decoding manifest: %v", ErrCorrupt, err)
+	}
+	if m.ManifestVersion != ManifestVersion {
+		return Manifest{}, fmt.Errorf("%w: manifest version %d, want %d",
+			ErrCorrupt, m.ManifestVersion, ManifestVersion)
+	}
+	if m.Spec.Canonical().Hash() != m.Hash {
+		return Manifest{}, fmt.Errorf("%w: manifest spec does not re-hash to %s", ErrCorrupt, m.Hash)
+	}
+	return m, nil
 }
 
 // Get loads the records stored for spec. ok is false on a miss; a
@@ -84,24 +155,17 @@ func (s *Store) Get(spec Spec) ([]json.RawMessage, bool, error) {
 	spec = spec.Canonical()
 	hash := spec.Hash()
 	dir := s.runDir(hash)
-	mb, err := os.ReadFile(filepath.Join(dir, "manifest.json"))
+	m, err := loadManifest(dir)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, false, nil
 		}
-		return nil, false, fmt.Errorf("%w: reading manifest %s: %v", ErrCorrupt, hash, err)
+		return nil, false, fmt.Errorf("manifest %s: %w", hash, err)
 	}
-	var m Manifest
-	if err := json.Unmarshal(mb, &m); err != nil {
-		return nil, false, fmt.Errorf("%w: decoding manifest %s: %v", ErrCorrupt, hash, err)
-	}
-	if m.ManifestVersion != ManifestVersion {
-		return nil, false, fmt.Errorf("%w: manifest %s has version %d, want %d",
-			ErrCorrupt, hash, m.ManifestVersion, ManifestVersion)
-	}
-	// The stored spec must re-encode to the address we derived: this
-	// rejects hand-edited entries and (theoretical) hash collisions.
-	if m.Hash != hash || !bytes.Equal(m.Spec.Encode(), spec.Encode()) {
+	// loadManifest verified the stored spec re-hashes to m.Hash; it must
+	// also be the address we derived, or the entry answers a different
+	// question than asked.
+	if m.Hash != hash {
 		return nil, false, fmt.Errorf("%w: manifest %s does not match its spec", ErrCorrupt, hash)
 	}
 	rb, err := os.ReadFile(filepath.Join(dir, "records.jsonl"))
@@ -158,27 +222,33 @@ func (s *Store) Put(spec Spec, records []json.RawMessage) error {
 	if err != nil {
 		return fmt.Errorf("runstore: %v", err)
 	}
+	return s.installStaged(map[string][]byte{
+		"records.jsonl": rb.Bytes(),
+		"manifest.json": mb,
+	}, s.runDir(hash))
+}
 
+// installStaged writes files into a fresh staging directory under
+// <dir>/tmp and renames it over dst — the atomic-replace dance shared
+// by run entries and prefix snapshots. Any previous entry is first
+// renamed out of the readers' way. If a concurrent writer won the
+// rename race, its entry encodes the same content address —
+// determinism makes the two byte-identical up to the manifest
+// timestamp — so losing is success.
+func (s *Store) installStaged(files map[string][]byte, dst string) error {
 	stage, err := os.MkdirTemp(filepath.Join(s.dir, "tmp"), "put-*")
 	if err != nil {
 		return fmt.Errorf("runstore: %v", err)
 	}
 	defer os.RemoveAll(stage)
-	if err := os.WriteFile(filepath.Join(stage, "records.jsonl"), rb.Bytes(), 0o644); err != nil {
-		return fmt.Errorf("runstore: %v", err)
+	for name, b := range files {
+		if err := os.WriteFile(filepath.Join(stage, name), b, 0o644); err != nil {
+			return fmt.Errorf("runstore: %v", err)
+		}
 	}
-	if err := os.WriteFile(filepath.Join(stage, "manifest.json"), mb, 0o644); err != nil {
-		return fmt.Errorf("runstore: %v", err)
-	}
-
-	dst := s.runDir(hash)
 	if err := os.MkdirAll(filepath.Dir(dst), 0o755); err != nil {
 		return fmt.Errorf("runstore: %v", err)
 	}
-	// Replace any previous entry out of the readers' way, then move the
-	// staged directory into place. If a concurrent writer won the rename
-	// race, its entry encodes the same spec — determinism makes the two
-	// byte-identical up to the manifest timestamp — so losing is success.
 	old := stage + ".old"
 	if err := os.Rename(dst, old); err == nil {
 		defer os.RemoveAll(old)
@@ -242,18 +312,18 @@ func (s *Store) List() ([]Manifest, error) {
 			continue
 		}
 		for _, e := range entries {
-			mb, err := os.ReadFile(filepath.Join(s.dir, "runs", shard.Name(), e.Name(), "manifest.json"))
-			if err != nil {
+			dir := filepath.Join(s.dir, "runs", shard.Name(), e.Name())
+			// Structural verification only: a consistent manifest whose
+			// records file exists at the declared size. Get still CRC-checks
+			// the records bytes it serves, so a listed-then-fetched entry is
+			// fully verified; List itself stays O(manifests), not O(store
+			// bytes), per call.
+			m, err := loadManifest(dir)
+			if err != nil || m.Hash != e.Name() {
 				continue
 			}
-			var m Manifest
-			if err := json.Unmarshal(mb, &m); err != nil {
-				continue
-			}
-			// Only verified entries make the catalog: an entry Get would
-			// reject (bad CRC, spec/hash mismatch, truncation) must not be
-			// advertised as cached.
-			if _, ok, _ := s.Get(m.Spec); !ok {
+			fi, err := os.Stat(filepath.Join(dir, "records.jsonl"))
+			if err != nil || fi.Size() != m.Bytes {
 				continue
 			}
 			out = append(out, m)

@@ -136,13 +136,18 @@ func TestStoreOverwrite(t *testing.T) {
 // that reports ErrCorrupt (so schedulers recompute instead of failing).
 func TestStoreCorruptionIsAMiss(t *testing.T) {
 	cases := []struct {
-		name    string
+		name string
+		// listed reports whether List/Contains may still advertise the
+		// entry: their verification is deliberately structural (manifest
+		// consistency + records size), so a same-size bitflip is only
+		// caught by Get's CRC — the reader that would serve the bytes.
+		listed  bool
 		corrupt func(t *testing.T, runDir string)
 	}{
-		{"records-bitflip", func(t *testing.T, dir string) {
+		{"records-bitflip", true, func(t *testing.T, dir string) {
 			flipByte(t, filepath.Join(dir, "records.jsonl"))
 		}},
-		{"records-truncated", func(t *testing.T, dir string) {
+		{"records-truncated", false, func(t *testing.T, dir string) {
 			path := filepath.Join(dir, "records.jsonl")
 			b, err := os.ReadFile(path)
 			if err != nil {
@@ -152,12 +157,12 @@ func TestStoreCorruptionIsAMiss(t *testing.T) {
 				t.Fatal(err)
 			}
 		}},
-		{"manifest-garbage", func(t *testing.T, dir string) {
+		{"manifest-garbage", false, func(t *testing.T, dir string) {
 			if err := os.WriteFile(filepath.Join(dir, "manifest.json"), []byte("not json"), 0o644); err != nil {
 				t.Fatal(err)
 			}
 		}},
-		{"manifest-wrong-spec", func(t *testing.T, dir string) {
+		{"manifest-wrong-spec", false, func(t *testing.T, dir string) {
 			other := sampleSpec(99).Canonical()
 			m := Manifest{ManifestVersion: ManifestVersion, Hash: other.Hash(), Spec: other}
 			b, _ := json.Marshal(m)
@@ -181,9 +186,15 @@ func TestStoreCorruptionIsAMiss(t *testing.T) {
 			if !errors.Is(err, ErrCorrupt) {
 				t.Fatalf("want ErrCorrupt, got %v", err)
 			}
-			// The catalog must not advertise the damaged entry either.
-			if ms, _ := st.List(); len(ms) != 0 {
-				t.Fatalf("corrupt entry advertised by List: %+v", ms)
+			wantListed := 0
+			if tc.listed {
+				wantListed = 1
+			}
+			if ms, _ := st.List(); len(ms) != wantListed {
+				t.Fatalf("List advertised %d entries, want %d: %+v", len(ms), wantListed, ms)
+			}
+			if got := st.Contains(spec); got != tc.listed {
+				t.Fatalf("Contains = %v, want %v", got, tc.listed)
 			}
 			// Self-healing: a fresh Put replaces the damaged entry.
 			if err := st.Put(spec, rawLines(`{"v":3}`)); err != nil {
