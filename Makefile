@@ -27,10 +27,12 @@ apigen:
 	@echo "wrote docs/fda-api.txt"
 
 # The AllocsPerRun assertions guard the steady-state zero-allocation
-# contract (DESIGN.md §7); race instrumentation allocates, so they skip
-# themselves under -race and need this separate uninstrumented run.
+# contract (DESIGN.md §7) and the telemetry layer's zero-alloc hot path
+# in both enabled and disabled states (DESIGN.md §11); race
+# instrumentation allocates, so they skip themselves under -race and
+# need this separate uninstrumented run.
 allocs:
-	$(GO) test ./internal/core/ -run ZeroAllocs -v | grep -v '^=== RUN'
+	$(GO) test ./internal/core/ ./internal/obs/ -run ZeroAllocs -v | grep -v '^=== RUN'
 
 build:
 	$(GO) build ./...
@@ -52,22 +54,25 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # bench runs the suite once and records a machine-readable report in
-# BENCH_PR6.json (op, ns/op, bytes, custom metrics) so the perf
-# trajectory is tracked across PRs (BENCH_PR2.json holds the pre-fused-
-# kernel baseline, BENCH_PR3.json the fused-kernel one, BENCH_PR5.json
-# the transport-fabric one). The raw text still prints.
+# BENCH_PR7.json (op, ns/op, bytes, custom metrics, env metadata) so the
+# perf trajectory is tracked across PRs (BENCH_PR2.json holds the
+# pre-fused-kernel baseline, BENCH_PR3.json the fused-kernel one,
+# BENCH_PR5.json the transport-fabric one, BENCH_PR6.json the warm-start
+# one). The raw text still prints.
 # Figure/sweep benches run once (each iteration is a whole experiment);
-# the step-, kernel- and fabric-level benches run 100 iterations so the
-# recorded hot-path numbers are steady-state rather than cold-start
-# noise. The Fabric series contrasts the in-process, simulated-network
-# and loopback-TCP AllReduce (ns/op plus charged/wire bytes).
+# the step-, kernel-, fabric- and telemetry-level benches run 100
+# iterations so the recorded hot-path numbers are steady-state rather
+# than cold-start noise. The Fabric series contrasts the in-process,
+# simulated-network and loopback-TCP AllReduce; the LocalStepSession
+# ObsOff/ObsOn pair and the Obs micro benches price the telemetry layer
+# in both states (disabled must be unmeasurable, DESIGN.md §11).
 bench:
 	@$(GO) test -run '^$$' -bench '^Benchmark(Table2|Figure|Ablation|Sweep|RunWorkers)' \
 		-benchtime 1x -benchmem -timeout 0 . > bench.raw.txt \
 		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
-	@$(GO) test -run '^$$' -bench '^Benchmark(LocalStep|Kernel|Fabric)' \
+	@$(GO) test -run '^$$' -bench '^Benchmark(LocalStep|Kernel|Fabric|Obs)' \
 		-benchtime 100x -benchmem -timeout 0 . >> bench.raw.txt \
 		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
-	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR6.json
+	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR7.json
 	@rm -f bench.raw.txt
-	@echo "wrote BENCH_PR6.json"
+	@echo "wrote BENCH_PR7.json"

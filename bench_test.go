@@ -15,6 +15,7 @@ import (
 	"repro/fda"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 	"repro/internal/tensor"
 )
@@ -403,4 +404,92 @@ func itoa(n int) string {
 		n /= 10
 	}
 	return string(buf[i:])
+}
+
+// --- Telemetry benches (internal/obs, DESIGN.md §11) ---
+
+// benchSessionStep times one end-to-end Session.Step of a K=4 lenet5s
+// run — strategy bookkeeping, fabric collectives and telemetry gates
+// included. The ObsOff/ObsOn pair is the headline contrast tracked in
+// BENCH_PR7.json: with telemetry disabled the instrumentation must cost
+// one atomic load per gate, i.e. be unmeasurable against ObsOff's
+// baseline noise.
+func benchSessionStep(b *testing.B, enable bool) {
+	if enable {
+		fda.EnableTelemetry()
+		defer fda.DisableTelemetry()
+	}
+	spec, err := fda.ModelByName("lenet5s")
+	if err != nil {
+		b.Fatal(err)
+	}
+	train, test := fda.DatasetForModel(spec, 1)
+	cfg := fda.Config{
+		K: 4, BatchSize: 32, Seed: 1,
+		Model: spec.Build, Optimizer: spec.Optimizer,
+		Train: train, Test: test,
+		MaxSteps: b.N + 1, EvalEvery: 1 << 30,
+	}
+	sess, err := fda.NewSession(nil, cfg, fda.NewLinearFDA(spec.ThetaGrid[1]))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := sess.Step(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkLocalStepSessionObsOff(b *testing.B) { benchSessionStep(b, false) }
+func BenchmarkLocalStepSessionObsOn(b *testing.B)  { benchSessionStep(b, true) }
+
+// The Obs micro benches price the telemetry primitives themselves, in
+// both armed and disarmed states (the disarmed numbers are the cost
+// every instrumented call site pays when observability is off).
+func BenchmarkObsCounterAddOn(b *testing.B) {
+	fda.EnableTelemetry()
+	defer fda.DisableTelemetry()
+	c := obs.Default.Counter("bench_counter_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsCounterAddOff(b *testing.B) {
+	c := obs.Default.Counter("bench_counter_total", "bench")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(1)
+	}
+}
+
+func BenchmarkObsHistogramObserveOn(b *testing.B) {
+	fda.EnableTelemetry()
+	defer fda.DisableTelemetry()
+	h := obs.Default.Histogram("bench_hist_seconds", "bench", obs.Seconds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*977 + 1)
+	}
+}
+
+func BenchmarkObsHistogramObserveOff(b *testing.B) {
+	h := obs.Default.Histogram("bench_hist_seconds", "bench", obs.Seconds)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(int64(i)*977 + 1)
+	}
+}
+
+func BenchmarkObsSpanDisarmed(b *testing.B) {
+	fda.EnableTelemetry()
+	defer fda.DisableTelemetry()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sp := obs.StartRegion("bench", "bench")
+		sp.End()
+	}
 }

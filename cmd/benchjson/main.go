@@ -14,6 +14,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/debug"
 	"strconv"
 	"strings"
 )
@@ -33,12 +35,49 @@ type Benchmark struct {
 	Metrics map[string]float64 `json:"metrics,omitempty"`
 }
 
+// Env pins the environment a report was produced in, so numbers from
+// different machines or toolchains are never compared as if they were
+// the same series. Everything comes from the running process and the
+// build metadata the toolchain embeds — no flags to forget.
+type Env struct {
+	GoVersion  string `json:"go_version"`
+	GOMAXPROCS int    `json:"gomaxprocs"`
+	NumCPU     int    `json:"num_cpu"`
+	// VCSRevision/VCSModified identify the commit benchjson itself was
+	// built from (the bench binaries are built from the same tree by
+	// `make bench`).
+	VCSRevision string `json:"vcs_revision,omitempty"`
+	VCSModified bool   `json:"vcs_modified,omitempty"`
+}
+
+// envMeta collects Env from build info (split out for testing).
+func envMeta(bi *debug.BuildInfo, ok bool) Env {
+	e := Env{
+		GoVersion:  runtime.Version(),
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+	}
+	if !ok || bi == nil {
+		return e
+	}
+	for _, s := range bi.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			e.VCSRevision = s.Value
+		case "vcs.modified":
+			e.VCSModified = s.Value == "true"
+		}
+	}
+	return e
+}
+
 // Report is the top-level JSON document.
 type Report struct {
 	GoOS       string      `json:"goos,omitempty"`
 	GoArch     string      `json:"goarch,omitempty"`
 	Pkg        string      `json:"pkg,omitempty"`
 	CPU        string      `json:"cpu,omitempty"`
+	Env        Env         `json:"env"`
 	Benchmarks []Benchmark `json:"benchmarks"`
 }
 
@@ -62,6 +101,8 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
+	bi, ok := debug.ReadBuildInfo()
+	report.Env = envMeta(bi, ok)
 	b, err := json.MarshalIndent(report, "", "  ")
 	if err != nil {
 		fatal(err)

@@ -1,6 +1,8 @@
 package main
 
 import (
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"testing"
 )
@@ -41,6 +43,26 @@ func TestParse(t *testing.T) {
 	}
 	if b1.Metrics["LinearFDA_comm_MB/op"] != 0.125 || b1.Metrics["LinearFDA_steps/op"] != 210 {
 		t.Fatalf("custom metrics: %+v", b1.Metrics)
+	}
+}
+
+func TestEnvMeta(t *testing.T) {
+	bi := &debug.BuildInfo{}
+	bi.Settings = []debug.BuildSetting{
+		{Key: "vcs.revision", Value: "abcdef0123456789"},
+		{Key: "vcs.modified", Value: "true"},
+	}
+	e := envMeta(bi, true)
+	if e.GoVersion != runtime.Version() || e.GOMAXPROCS != runtime.GOMAXPROCS(0) || e.NumCPU != runtime.NumCPU() {
+		t.Fatalf("env runtime fields: %+v", e)
+	}
+	if e.VCSRevision != "abcdef0123456789" || !e.VCSModified {
+		t.Fatalf("env vcs fields: %+v", e)
+	}
+	// No build info: runtime fields still populate, VCS fields stay empty.
+	e = envMeta(nil, false)
+	if e.GoVersion == "" || e.VCSRevision != "" || e.VCSModified {
+		t.Fatalf("fallback env: %+v", e)
 	}
 }
 

@@ -33,6 +33,7 @@ import (
 
 	"repro/internal/buildinfo"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -49,6 +50,7 @@ func main() {
 		resume   = flag.Bool("resume", false, "resume from the run registry (implies -store "+defaultStoreDir+" when -store is not set)")
 		warm     = flag.Bool("warmstart", false, "reuse trajectory-prefix snapshots across grid cells sharing a trajectory (needs -store; bit-identical output, lower wall clock)")
 		progress = flag.Bool("progress", false, "print one line per grid cell as the sweep executes")
+		traceOut = flag.String("trace", "", "write a whole-sweep Chrome trace-event JSON (open in Perfetto) to this file and enable telemetry; output is byte-identical with or without it")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -56,6 +58,24 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.String("fdaexp"))
 		return
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdaexp: %v\n", err)
+			os.Exit(1)
+		}
+		obs.Enable()
+		if err := obs.TraceTo(f); err != nil {
+			fmt.Fprintf(os.Stderr, "fdaexp: %v\n", err)
+			os.Exit(1)
+		}
+		defer func() {
+			if err := obs.StopTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "fdaexp: writing trace: %v\n", err)
+			}
+		}()
 	}
 
 	sc, err := experiments.ParseScale(*scale)

@@ -39,6 +39,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/comm"
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -67,6 +68,7 @@ func main() {
 		coord    = flag.String("coordinator", "", "host a multi-process cluster on this address (e.g. :9000): wait for -k workers, drive the run, verify and print the result")
 		storeDir = flag.String("store", "", "run-registry directory holding trajectory-prefix snapshots for -warmstart")
 		warm     = flag.Bool("warmstart", false, "restore the longest stored trajectory prefix compatible with this run and publish new prefixes (needs -store; result is bit-identical to a cold run)")
+		traceOut = flag.String("trace", "", "write a whole-run Chrome trace-event JSON (open in Perfetto) to this file and enable telemetry; results are bit-identical with or without it")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -74,6 +76,22 @@ func main() {
 	if *version {
 		fmt.Println(buildinfo.String("fdarun"))
 		return
+	}
+
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		obs.Enable()
+		if err := obs.TraceTo(f); err != nil {
+			fatal(err)
+		}
+		defer func() {
+			if err := obs.StopTrace(); err != nil {
+				fmt.Fprintf(os.Stderr, "fdarun: writing trace: %v\n", err)
+			}
+		}()
 	}
 
 	// Worker mode: everything about the run comes from the coordinator.

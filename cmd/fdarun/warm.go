@@ -7,6 +7,7 @@ import (
 	"repro/fda"
 	"repro/internal/checkpoint"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -32,6 +33,7 @@ func warmStart(sess *fda.Session, strat fda.Strategy, cfg fda.Config, dir string
 	// prefixes: the session never re-observes the restored steps'
 	// statistics, so its own running maximum restarts low.
 	var baseGuard float64
+	rsp := obs.StartRegion("warmstart.restore", "runstore")
 	blob, m, found, err := st.BestSnapshot(prefix, cfg.MaxSteps, sharer.AcceptPrefix)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "fdarun: snapshot store: %v\n", err)
@@ -46,6 +48,9 @@ func warmStart(sess *fda.Session, strat fda.Strategy, cfg fda.Config, dir string
 		}
 		baseGuard = m.Guard
 		fmt.Printf("warmstart: restored %d steps from prefix snapshot %s\n", m.Steps, m.Hash[:12])
+	}
+	if rsp.Active() {
+		rsp.EndArgs("restored_steps", m.Steps, "hit", found)
 	}
 
 	every := cfg.EvalEvery

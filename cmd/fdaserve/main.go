@@ -18,7 +18,8 @@
 //	fdaserve -store runs.d -addr :8080 -fabric :9000
 //
 //	curl -s localhost:8080/v1/healthz                 # JSON liveness
-//	curl -s localhost:8080/v1/metrics                 # jobs, simulated bytes, uptime
+//	curl -s localhost:8080/metrics                    # Prometheus text exposition
+//	curl -s localhost:8080/v1/metrics                 # jobs, simulated bytes, telemetry snapshot
 //	curl -s localhost:8080/v1/experiments
 //	curl -s -X POST localhost:8080/v1/runs -d '{"experiment":"fig3","scale":"tiny","seed":1}'
 //	curl -s -X POST localhost:8080/v1/train -d '{"model":"lenet5s","strategy":"LinearFDA","steps":400}'
@@ -40,6 +41,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -48,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -59,6 +62,7 @@ func main() {
 		fabric   = flag.String("fabric", "", "TCP-fabric listen address for distributed train jobs (e.g. :9000); empty disables them")
 		warm     = flag.Bool("warmstart", true, "reuse trajectory-prefix snapshots across sweep cells sharing a trajectory (records stay bit-identical; wall clock drops)")
 		ttl      = flag.Duration("session-ttl", 7*24*time.Hour, "expire orphaned session checkpoints and prefix snapshots older than this at startup (0 disables the sweep)")
+		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -67,6 +71,11 @@ func main() {
 		fmt.Println(buildinfo.String("fdaserve"))
 		return
 	}
+
+	// The server always runs with telemetry on: training results are
+	// bit-identical either way (the parity tests pin this), and the
+	// /metrics exposition is only useful when the registry is live.
+	obs.Enable()
 
 	st, err := runstore.Open(*storeDir)
 	if err != nil {
@@ -92,6 +101,8 @@ func main() {
 	s := newServer(st, *jobs, baseCtx)
 	s.fabricAddr = *fabric
 	s.warm = *warm
+	s.accessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
+	s.pprof = *pprofOn
 	s.recoverJournal()
 	srv := &http.Server{
 		Addr:    *addr,

@@ -1,14 +1,18 @@
 package main
 
 import (
+	"bytes"
 	"context"
+	"log/slog"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
 	"repro/internal/dist"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -51,6 +55,87 @@ func TestHealthzAndMetrics(t *testing.T) {
 	}
 	if m.StoreRuns <= 0 {
 		t.Fatalf("completed sweep left %d cached runs", m.StoreRuns)
+	}
+}
+
+// TestPromMetricsEndpoint covers GET /metrics: after HTTP traffic and a
+// completed train job, the exposition parses as Prometheus text and
+// carries the per-route HTTP latency histogram, the job run-time and
+// queue-wait histograms, the session counters and the runtime samples.
+func TestPromMetricsEndpoint(t *testing.T) {
+	obs.Enable()
+	defer obs.Disable()
+	ts := testServer(t, t.TempDir())
+
+	getJSON(t, ts.URL+"/v1/healthz", http.StatusOK, nil)
+	var v jobView
+	postJSON(t, ts.URL+"/v1/train",
+		`{"model":"lenet5s","strategy":"LinearFDA","k":2,"batch":8,"steps":8,"eval_every":4,"seed":5}`,
+		http.StatusAccepted, &v)
+	waitStatus(t, ts, v.ID, statusDone)
+
+	resp, err := http.Get(ts.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain; version=0.0.4") {
+		t.Fatalf("exposition content type %q", ct)
+	}
+	body := readAll(t, resp)
+	if err := obs.ValidatePrometheusText(body); err != nil {
+		t.Fatalf("exposition does not parse: %v\n%s", err, body)
+	}
+	for _, want := range []string{
+		"fdaserve_http_request_seconds_bucket",
+		`route="GET /v1/healthz"`,
+		"fdaserve_http_requests_total",
+		"fdaserve_job_run_seconds_count",
+		`kind="train"`,
+		"fdaserve_job_queue_wait_seconds_count",
+		"fda_steps_total",
+		"go_sched_goroutines",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("exposition missing %q:\n%s", want, body)
+		}
+	}
+
+	// The JSON twin carries the registry snapshot and runtime samples.
+	var m metricsView
+	getJSON(t, ts.URL+"/v1/metrics", http.StatusOK, &m)
+	if len(m.Telemetry.Counters) == 0 || len(m.Telemetry.Histograms) == 0 {
+		t.Fatalf("telemetry snapshot empty: %+v", m.Telemetry)
+	}
+	if m.Telemetry.CounterSum("fda_steps_total") <= 0 {
+		t.Fatal("fda_steps_total missing from the /v1/metrics snapshot")
+	}
+	if _, ok := m.Runtime["go_sched_goroutines"]; !ok {
+		t.Fatalf("runtime samples missing goroutine count: %+v", m.Runtime)
+	}
+}
+
+// TestAccessLog pins the structured access log: one line per request
+// with method, path, route pattern, status, duration and the job id.
+func TestAccessLog(t *testing.T) {
+	st, err := runstore.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newServer(st, 2, context.Background())
+	var buf bytes.Buffer
+	srv.accessLog = slog.New(slog.NewTextHandler(&buf, nil))
+	ts := httptest.NewServer(srv.routes())
+	t.Cleanup(ts.Close)
+
+	getJSON(t, ts.URL+"/v1/runs/r404", http.StatusNotFound, nil)
+	line := buf.String()
+	for _, want := range []string{
+		"msg=access", "method=GET", "path=/v1/runs/r404",
+		`route="GET /v1/runs/{id}"`, "status=404", "dur=", "job=r404",
+	} {
+		if !strings.Contains(line, want) {
+			t.Fatalf("access log missing %q: %q", want, line)
+		}
 	}
 }
 

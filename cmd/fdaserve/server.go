@@ -5,7 +5,9 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"strings"
 	"sync"
@@ -15,6 +17,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/core"
 	"repro/internal/experiments"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -40,6 +43,11 @@ type server struct {
 	journal *journal
 	// warm enables trajectory-prefix snapshot reuse inside sweep jobs.
 	warm bool
+	// accessLog, when non-nil, receives one structured line per HTTP
+	// request from the instrument middleware.
+	accessLog *slog.Logger
+	// pprof mounts net/http/pprof under /debug/pprof/ when set.
+	pprof bool
 	// wg tracks in-flight job goroutines for shutdown draining.
 	wg sync.WaitGroup
 	// started anchors the /v1/metrics uptime.
@@ -111,6 +119,14 @@ type job struct {
 	syncs   atomic.Int64
 	resumed atomic.Bool
 
+	// admittedNs/startedNs are monotonic offsets from server start:
+	// admittedNs is stamped at creation, startedNs when an execute
+	// goroutine picks the job up (0 = still queued). Their difference
+	// feeds fdaserve_job_queue_wait_seconds and makes the /v1/metrics
+	// queued count truthful instead of hardwired to zero.
+	admittedNs int64
+	startedNs  atomic.Int64
+
 	mu     sync.Mutex
 	status string
 	errMsg string
@@ -170,6 +186,14 @@ func (j *job) view() jobView {
 	return v
 }
 
+// markStarted stamps the moment an execute goroutine picked the job up
+// and feeds the admission→start interval to the queue-wait histogram.
+func (s *server) markStarted(j *job) {
+	now := int64(time.Since(s.started))
+	j.startedNs.Store(now)
+	jobQueueWait.Observe(now - j.admittedNs)
+}
+
 // setStatus records a terminal transition and journals it.
 func (s *server) setStatus(j *job, status, errMsg string, result any) {
 	j.mu.Lock()
@@ -180,6 +204,9 @@ func (s *server) setStatus(j *job, status, errMsg string, result any) {
 	j.mu.Unlock()
 	if status == statusDone && result != nil {
 		s.bytesSimulated.Add(simulatedBytes(result))
+	}
+	if st := j.startedNs.Load(); status != statusRunning && st != 0 {
+		jobRunSeconds(j.Kind).Observe(int64(time.Since(s.started)) - st)
 	}
 	s.journal.record(j.view(), j.key)
 }
@@ -221,8 +248,9 @@ func simulatedBytes(result any) int64 {
 // routes builds the API surface:
 //
 //	GET    /healthz                 liveness (bare text)
+//	GET    /metrics                 Prometheus text exposition
 //	GET    /v1/healthz              liveness (JSON)
-//	GET    /v1/metrics              job counts, simulated bytes, uptime
+//	GET    /v1/metrics              job counts, simulated bytes, uptime, telemetry snapshot
 //	GET    /v1/version              build information
 //	GET    /v1/experiments          registered runners
 //	GET    /v1/store                cached-run manifests
@@ -234,11 +262,23 @@ func simulatedBytes(result any) int64 {
 //	GET    /v1/runs/{id}/events     live progress as Server-Sent Events
 //	GET    /v1/runs/{id}/records    fetch a finished job's records
 //	GET    /v1/runs/{id}/output     fetch the rendered tables/plots
+//
+// With -pprof, net/http/pprof is additionally mounted under
+// /debug/pprof/. Every route runs behind the instrument middleware
+// (obs.go): per-route latency histograms, status counters, access log.
 func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /metrics", s.handlePromMetrics)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	mux.HandleFunc("GET /v1/metrics", s.handleMetrics)
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
@@ -254,7 +294,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/runs/{id}/records", s.handleRecords)
 	mux.HandleFunc("GET /v1/runs/{id}/output", s.handleOutput)
-	return mux
+	return s.instrument(mux)
 }
 
 // handleHealthz implements GET /v1/healthz: a JSON liveness probe (the
@@ -294,12 +334,20 @@ type metricsView struct {
 	// steps those restores skipped.
 	SnapshotHits int64 `json:"snapshot_hits"`
 	StepsSaved   int64 `json:"steps_saved"`
+	// Telemetry is the process-wide metrics registry snapshot — session
+	// step/sync timings, fabric byte counters, runstore latencies, HTTP
+	// and job histograms with p50/p95/p99 — the JSON twin of GET /metrics.
+	Telemetry obs.Snap `json:"telemetry"`
+	// Runtime carries a fixed set of runtime/metrics samples (goroutines,
+	// heap, GC cycles, mutex wait).
+	Runtime map[string]float64 `json:"runtime"`
 }
 
 // handleMetrics implements GET /v1/metrics: job counts by status,
-// simulated communication volume and uptime. Jobs start executing at
-// admission, so Queued is zero under the current in-process executor;
-// the field exists so the shape survives a queueing executor.
+// simulated communication volume, uptime, and the registry snapshot.
+// Queued counts jobs admitted whose execute goroutine has not started
+// yet — under the in-process executor that window is one goroutine
+// handoff wide, so the count is usually zero but no longer hardwired.
 func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	var m metricsView
 	m.UptimeSec = time.Since(s.started).Seconds()
@@ -308,7 +356,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		v := j.view()
 		switch v.Status {
 		case statusRunning:
-			m.Jobs.Running++
+			if j.startedNs.Load() == 0 {
+				m.Jobs.Queued++
+			} else {
+				m.Jobs.Running++
+			}
 		case statusDone:
 			m.Jobs.Done++
 		case statusFailed:
@@ -326,6 +378,8 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	m.BytesSimulated = s.bytesSimulated.Load()
 	m.StoreRuns = s.store.Count()
 	m.StoreSnapshots = s.store.SnapshotCount()
+	m.Telemetry = obs.Default.Snapshot()
+	m.Runtime = obs.RuntimeSample()
 	writeJSON(w, http.StatusOK, m)
 }
 
@@ -427,12 +481,13 @@ func (s *server) createJob(key string, init func(*job)) (*job, context.Context, 
 	}
 	s.nextID++
 	j := &job{
-		ID:     fmt.Sprintf("r%d", s.nextID),
-		key:    key,
-		out:    &lockedBuffer{},
-		done:   make(chan struct{}),
-		events: newBroker(),
-		status: statusRunning,
+		ID:         fmt.Sprintf("r%d", s.nextID),
+		key:        key,
+		out:        &lockedBuffer{},
+		done:       make(chan struct{}),
+		events:     newBroker(),
+		status:     statusRunning,
+		admittedNs: int64(time.Since(s.started)),
 	}
 	ctx, cancel := context.WithCancel(s.baseCtx)
 	j.cancel = cancel
@@ -453,6 +508,7 @@ func (s *server) createJob(key string, init func(*job)) (*job, context.Context, 
 // cancellation (DELETE or shutdown) stops it between cells, so the
 // persisted cells fund the next submission of the same spec.
 func (s *server) executeSweep(j *job, scale experiments.Scale, ctx context.Context) {
+	s.markStarted(j)
 	defer s.wg.Done()
 	defer j.events.close()
 	defer close(j.done)

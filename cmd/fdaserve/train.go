@@ -210,6 +210,7 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 // cluster Result. Cancellation (DELETE or shutdown) closes the
 // coordinator, which unblocks the workers with transport errors.
 func (s *server) executeTrainDistributed(j *job, req trainRequest, ctx context.Context) {
+	s.markStarted(j)
 	defer s.wg.Done()
 	defer j.events.close()
 	defer close(j.done)
@@ -247,6 +248,7 @@ func (s *server) executeTrainDistributed(j *job, req trainRequest, ctx context.C
 // restoring a prior interrupted submission's checkpoint when one exists
 // and writing one when this run is cancelled.
 func (s *server) executeTrain(j *job, cfg core.Config, strat core.Strategy, ctx context.Context) {
+	s.markStarted(j)
 	ckpt := s.checkpointPath(j.key)
 	defer s.wg.Done()
 	defer j.events.close()

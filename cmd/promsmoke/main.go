@@ -1,0 +1,57 @@
+// Command promsmoke validates a Prometheus text exposition (as served
+// by fdaserve's GET /metrics): HELP/TYPE comment structure, sample-line
+// syntax, and histogram cumulative-bucket monotonicity. It exits 0 when
+// the input parses and prints the sample count, so CI can smoke-test a
+// live scrape without a Prometheus server in the loop.
+//
+//	curl -s localhost:8080/metrics | promsmoke
+//	promsmoke -in metrics.txt
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+func main() {
+	in := flag.String("in", "", "input file (default: stdin)")
+	flag.Parse()
+
+	r := io.Reader(os.Stdin)
+	if *in != "" {
+		f, err := os.Open(*in)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		r = f
+	}
+	b, err := io.ReadAll(r)
+	if err != nil {
+		fatal(err)
+	}
+	text := string(b)
+	if err := obs.ValidatePrometheusText(text); err != nil {
+		fatal(err)
+	}
+	samples := 0
+	for _, line := range strings.Split(text, "\n") {
+		if line != "" && !strings.HasPrefix(line, "#") {
+			samples++
+		}
+	}
+	if samples == 0 {
+		fatal(fmt.Errorf("exposition holds no samples"))
+	}
+	fmt.Printf("promsmoke: ok (%d samples)\n", samples)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "promsmoke:", err)
+	os.Exit(1)
+}

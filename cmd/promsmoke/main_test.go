@@ -1,0 +1,27 @@
+package main
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// The validator behind promsmoke must accept what the registry writes
+// and reject malformed expositions — the CI smoke depends on both
+// directions.
+func TestValidatorRoundTrip(t *testing.T) {
+	r := obs.NewRegistry()
+	r.Counter("smoke_total", "A counter.", "kind", "a").Add(0)
+	r.Histogram("smoke_seconds", "A histogram.", obs.Seconds)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if err := obs.ValidatePrometheusText(sb.String()); err != nil {
+		t.Fatalf("own exposition rejected: %v\n%s", err, sb.String())
+	}
+	if err := obs.ValidatePrometheusText("not a metric line\n"); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

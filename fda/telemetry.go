@@ -1,0 +1,52 @@
+package fda
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Telemetry (DESIGN.md §11). The library carries a process-wide metrics
+// registry and span tracer that instrument sessions, fabrics and the
+// run registry. Both are off by default and cost nothing disabled (one
+// atomic load per would-be update, zero allocations); enabled or not,
+// training results are bit-identical — telemetry is a pure side
+// channel, pinned by the core parity tests.
+type (
+	// TelemetrySnapshot is a point-in-time copy of every registered
+	// metric, JSON-encodable (the fdaserve /v1/metrics payload shape).
+	TelemetrySnapshot = obs.Snap
+	// TelemetryCounter, TelemetryGauge and TelemetryHistogram are the
+	// snapshot's per-metric entries; histograms carry count, sum and
+	// p50/p95/p99 estimates.
+	TelemetryCounter   = obs.CounterValue
+	TelemetryGauge     = obs.GaugeValue
+	TelemetryHistogram = obs.HistogramValue
+)
+
+var (
+	// EnableTelemetry turns the metrics registry and span clock on;
+	// DisableTelemetry turns them off again. TelemetryOn reports the
+	// current state.
+	EnableTelemetry  = obs.Enable
+	DisableTelemetry = obs.Disable
+	TelemetryOn      = obs.On
+
+	// StartTrace arms whole-run span tracing: spans (session steps,
+	// fabric collectives, runstore operations, warm-start restores) are
+	// streamed to w as Chrome trace-event JSON, openable in Perfetto or
+	// chrome://tracing. Call EnableTelemetry first — the tracer shares
+	// the telemetry clock. StopTrace closes the JSON array and flushes.
+	StartTrace = obs.TraceTo
+	StopTrace  = obs.StopTrace
+)
+
+// Telemetry returns a snapshot of the process-wide metrics registry:
+// session step/sync/eval timings, per-strategy sync counters, fabric
+// byte counters, runstore latencies, and anything the embedding process
+// registered on top.
+func Telemetry() TelemetrySnapshot { return obs.Default.Snapshot() }
+
+// WriteTelemetryPrometheus writes the registry in Prometheus text
+// exposition format — what fdaserve serves at GET /metrics.
+func WriteTelemetryPrometheus(w io.Writer) error { return obs.Default.WritePrometheus(w) }

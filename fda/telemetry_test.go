@@ -1,0 +1,47 @@
+package fda_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/fda"
+)
+
+// TestFacadeTelemetry drives the documented telemetry flow: run once
+// dark, once with telemetry on, verify the results are bit-identical,
+// and check the snapshot and Prometheus exposition reflect the run.
+func TestFacadeTelemetry(t *testing.T) {
+	train, test := fda.MNISTLike(4)
+	cfg := fda.Config{
+		K: 3, BatchSize: 16, Seed: 4,
+		Model:     buildMLP(train.Dim(), train.NumClasses),
+		Optimizer: fda.NewAdam(1e-3),
+		Train:     train, Test: test,
+		MaxSteps: 30, EvalEvery: 10,
+	}
+
+	if fda.TelemetryOn() {
+		t.Fatal("telemetry must be off by default")
+	}
+	dark := fda.MustRun(cfg, fda.NewLinearFDA(0.08))
+
+	fda.EnableTelemetry()
+	defer fda.DisableTelemetry()
+	lit := fda.MustRun(cfg, fda.NewLinearFDA(0.08))
+	if !reflect.DeepEqual(dark, lit) {
+		t.Fatalf("telemetry changed the result:\ndark %+v\nlit  %+v", dark, lit)
+	}
+
+	snap := fda.Telemetry()
+	if snap.CounterSum("fda_steps_total") < int64(cfg.MaxSteps) {
+		t.Fatalf("snapshot records %d steps, ran %d", snap.CounterSum("fda_steps_total"), cfg.MaxSteps)
+	}
+	var sb strings.Builder
+	if err := fda.WriteTelemetryPrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "fda_session_step_seconds_count") {
+		t.Fatalf("exposition missing session histogram:\n%s", sb.String())
+	}
+}

@@ -80,6 +80,7 @@ func NewMeter() *Meter {
 
 // Charge records one operation of the given kind costing b bytes.
 func (m *Meter) Charge(kind string, b int64) {
+	chargeObs(kind, b)
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	m.bytes[kind] += b
@@ -238,6 +239,15 @@ func (c *Cluster) checkArity(op string, vecs [][]float64) int {
 // result replacing each worker's buffer, exactly the paper's
 // synchronization primitive w^(k) ← w̄.
 func (c *Cluster) AllReduce(kind string, vecs [][]float64) CostReport {
+	sp := startOp("AllReduce")
+	rep := c.allReduce(kind, vecs)
+	endOp(sp, kind, rep)
+	return rep
+}
+
+// allReduce is the span-free body, shared with SimFabric's override so
+// a simulated collective traces once (with its virtual time attached).
+func (c *Cluster) allReduce(kind string, vecs [][]float64) CostReport {
 	n := c.checkArity("AllReduce", vecs)
 	if c.Concurrent {
 		ringAllReduce(vecs)
@@ -258,6 +268,13 @@ func (c *Cluster) AllReduce(kind string, vecs [][]float64) CostReport {
 // charging the same cost as AllReduce. This models the aggregation of
 // local states S̄ = AllReduce(S^(k)) where workers keep their own states.
 func (c *Cluster) AllReduceMean(kind string, dst []float64, vecs [][]float64) CostReport {
+	sp := startOp("AllReduceMean")
+	rep := c.allReduceMean(kind, dst, vecs)
+	endOp(sp, kind, rep)
+	return rep
+}
+
+func (c *Cluster) allReduceMean(kind string, dst []float64, vecs [][]float64) CostReport {
 	c.checkArity("AllReduceMean", vecs)
 	tensor.Mean(dst, vecs...)
 	return c.charge(kind, len(dst))
@@ -266,6 +283,13 @@ func (c *Cluster) AllReduceMean(kind string, dst []float64, vecs [][]float64) Co
 // Broadcast implements Fabric: every worker's vector is overwritten with
 // rank root's, charged under the naive model ((K−1)·payload total).
 func (c *Cluster) Broadcast(kind string, root int, vecs [][]float64) CostReport {
+	sp := startOp("Broadcast")
+	rep := c.broadcast(kind, root, vecs)
+	endOp(sp, kind, rep)
+	return rep
+}
+
+func (c *Cluster) broadcast(kind string, root int, vecs [][]float64) CostReport {
 	n := c.checkArity("Broadcast", vecs)
 	if root < 0 || root >= c.k {
 		panic(fmt.Sprintf("comm: Broadcast root %d outside cluster of %d", root, c.k))

@@ -1,0 +1,68 @@
+package comm
+
+import (
+	"sync"
+
+	"repro/internal/obs"
+)
+
+// Fabric telemetry (DESIGN.md §11): every collective opens a span on
+// the "fabric" category carrying the charged cost — bytes from the
+// paper's accounting model and, on time-modeling fabrics, the
+// operation's virtual seconds — and every Meter charge mirrors into
+// the process-wide per-kind byte/op counters. Both paths are pure
+// observers: they read the CostReport the math already produced, so
+// training results are bit-identical with telemetry on or off.
+
+// startOp opens one fabric-op span; disarmed tracing costs a single
+// atomic load.
+func startOp(name string) obs.Region { return obs.StartRegion(name, "fabric") }
+
+// endOp closes a fabric-op span, attaching the operation's charged
+// cost. virtual_sec is the simulated collective time on SimFabric and
+// the measured wall seconds on TCPFabric (zero on the reference
+// cluster, which does not model time).
+func endOp(sp obs.Region, kind string, rep CostReport) {
+	if !sp.Active() {
+		return
+	}
+	sp.EndArgs("kind", kind, "elements", rep.Elements,
+		"per_worker_bytes", rep.PerWorker, "bytes", rep.Bytes,
+		"virtual_sec", rep.Seconds)
+}
+
+// meterCounters is one charge kind's process-wide mirror.
+type meterCounters struct {
+	bytes *obs.Counter
+	ops   *obs.Counter
+}
+
+// meterKinds caches kind → counters so the per-charge path is one
+// lock-free sync.Map read (kinds are a handful of static strings).
+var meterKinds sync.Map
+
+func meterCountersFor(kind string) *meterCounters {
+	if v, ok := meterKinds.Load(kind); ok {
+		return v.(*meterCounters)
+	}
+	mc := &meterCounters{
+		bytes: obs.Default.Counter("fda_comm_bytes_total",
+			"Total bytes charged by the communication cost model.", "kind", kind),
+		ops: obs.Default.Counter("fda_comm_ops_total",
+			"Total charged collective operations.", "kind", kind),
+	}
+	v, _ := meterKinds.LoadOrStore(kind, mc)
+	return v.(*meterCounters)
+}
+
+// chargeObs mirrors one meter charge into the process counters. Only
+// live charges flow through here — Meter.Restore rewinds a run's own
+// accounting, not the process history.
+func chargeObs(kind string, b int64) {
+	if !obs.On() {
+		return
+	}
+	mc := meterCountersFor(kind)
+	mc.bytes.Add(b)
+	mc.ops.Inc()
+}

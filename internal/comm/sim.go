@@ -203,17 +203,28 @@ func (f *SimFabric) tick(rep CostReport) CostReport {
 	return rep
 }
 
-// AllReduce implements Fabric: reference math, then clock advance.
+// AllReduce implements Fabric: reference math, then clock advance. The
+// span wraps the span-free reference body so one traced event carries
+// the op's charged bytes and simulated seconds.
 func (f *SimFabric) AllReduce(kind string, vecs [][]float64) CostReport {
-	return f.tick(f.Cluster.AllReduce(kind, vecs))
+	sp := startOp("AllReduce")
+	rep := f.tick(f.Cluster.allReduce(kind, vecs))
+	endOp(sp, kind, rep)
+	return rep
 }
 
 // AllReduceMean implements Fabric.
 func (f *SimFabric) AllReduceMean(kind string, dst []float64, vecs [][]float64) CostReport {
-	return f.tick(f.Cluster.AllReduceMean(kind, dst, vecs))
+	sp := startOp("AllReduceMean")
+	rep := f.tick(f.Cluster.allReduceMean(kind, dst, vecs))
+	endOp(sp, kind, rep)
+	return rep
 }
 
 // Broadcast implements Fabric.
 func (f *SimFabric) Broadcast(kind string, root int, vecs [][]float64) CostReport {
-	return f.tick(f.Cluster.Broadcast(kind, root, vecs))
+	sp := startOp("Broadcast")
+	rep := f.tick(f.Cluster.broadcast(kind, root, vecs))
+	endOp(sp, kind, rep)
+	return rep
 }

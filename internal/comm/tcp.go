@@ -189,6 +189,7 @@ func (f *TCPFabric) charge(kind string, n int, start time.Time) CostReport {
 
 // AllReduce implements Fabric.
 func (f *TCPFabric) AllReduce(kind string, local [][]float64) CostReport {
+	sp := startOp("AllReduce")
 	start := time.Now()
 	vecs := f.gatherVecs(kind, local)
 	n := len(local[0])
@@ -198,19 +199,25 @@ func (f *TCPFabric) AllReduce(kind string, local [][]float64) CostReport {
 	mean := f.mean[:n]
 	tensor.Mean(mean, vecs...)
 	copy(local[0], mean)
-	return f.charge(kind, n, start)
+	rep := f.charge(kind, n, start)
+	endOp(sp, kind, rep)
+	return rep
 }
 
 // AllReduceMean implements Fabric.
 func (f *TCPFabric) AllReduceMean(kind string, dst []float64, local [][]float64) CostReport {
+	sp := startOp("AllReduceMean")
 	start := time.Now()
 	vecs := f.gatherVecs(kind, local)
 	tensor.Mean(dst, vecs...)
-	return f.charge(kind, len(dst), start)
+	rep := f.charge(kind, len(dst), start)
+	endOp(sp, kind, rep)
+	return rep
 }
 
 // Broadcast implements Fabric.
 func (f *TCPFabric) Broadcast(kind string, root int, local [][]float64) CostReport {
+	sp := startOp("Broadcast")
 	start := time.Now()
 	vecs := f.gatherVecs(kind, local)
 	copy(local[0], vecs[root])
@@ -218,8 +225,10 @@ func (f *TCPFabric) Broadcast(kind string, root int, local [][]float64) CostRepo
 	payload := int64(n) * int64(f.cost.BytesPerParam)
 	total := payload * int64(f.k-1)
 	f.meter.Charge(kind, total)
-	return CostReport{Elements: n, PerWorker: payload, Bytes: total,
+	rep := CostReport{Elements: n, PerWorker: payload, Bytes: total,
 		WireBytes: f.lastWire, Seconds: time.Since(start).Seconds()}
+	endOp(sp, kind, rep)
+	return rep
 }
 
 // Gather implements Fabric (uncharged measurement exchange).
@@ -233,7 +242,12 @@ func (f *TCPFabric) ExchangeBytes(kind string, local [][]byte) [][]byte {
 	if len(local) != 1 {
 		f.fail(fmt.Errorf("TCPFabric drives 1 rank, got %d local payloads", len(local)))
 	}
-	return f.exchange(kind, local[0])
+	sp := startOp("ExchangeBytes")
+	out := f.exchange(kind, local[0])
+	if sp.Active() {
+		sp.EndArgs("kind", kind, "wire_bytes", f.lastWire)
+	}
+	return out
 }
 
 // SendResult delivers this worker's final result payload to the

@@ -1,0 +1,36 @@
+package core
+
+import "repro/internal/obs"
+
+// sessionTele is a session's pre-resolved telemetry instruments,
+// registered once at construction so the step loop performs no
+// registry lookups. Every observation is a pure read of state the
+// training math already produced — telemetry can never feed back into
+// a trajectory (the bit-exactness contract pinned by obs_parity_test).
+type sessionTele struct {
+	// stepSec covers one global step: all local ranks plus the
+	// strategy's synchronization decision, excluding evaluation.
+	stepSec *obs.Histogram
+	// syncSec covers AfterLocalStep on steps that synchronized (the
+	// collective-heavy case).
+	syncSec *obs.Histogram
+	// evalSec covers one averaged-global-model evaluation.
+	evalSec *obs.Histogram
+	steps   *obs.Counter
+	syncs   *obs.Counter
+}
+
+func newSessionTele(strategy string) sessionTele {
+	return sessionTele{
+		stepSec: obs.Default.Histogram("fda_session_step_seconds",
+			"Latency of one global training step (local updates plus sync decision).", obs.Seconds),
+		syncSec: obs.Default.Histogram("fda_session_sync_seconds",
+			"Latency of the strategy hook on steps that triggered a synchronization.", obs.Seconds),
+		evalSec: obs.Default.Histogram("fda_session_eval_seconds",
+			"Latency of one global-model evaluation.", obs.Seconds),
+		steps: obs.Default.Counter("fda_steps_total",
+			"Completed global training steps."),
+		syncs: obs.Default.Counter("fda_syncs_total",
+			"Model synchronizations triggered.", "strategy", strategy),
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/comm"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/opt"
 	"repro/internal/tensor"
 )
@@ -62,6 +63,11 @@ type Session struct {
 	// is cleared permanently at the first synchronization.
 	prefixFn    func(steps int, snap *checkpoint.Snapshot)
 	prefixEvery int
+
+	// tele holds the session's pre-resolved telemetry instruments
+	// (obs.go); observations are side-channel reads only and are
+	// dropped entirely while telemetry is disabled.
+	tele sessionTele
 
 	sinks []EventSink
 }
@@ -158,6 +164,7 @@ func NewSession(ctx context.Context, cfg Config, strat Strategy) (*Session, erro
 		samplesPerStep: float64(cfg.BatchSize * cfg.K),
 		trainLen:       float64(cfg.Train.Len()),
 		res:            Result{Strategy: strat.Name()},
+		tele:           newSessionTele(strat.Name()),
 	}
 	if st, ok := fabric.(comm.StepTimer); ok {
 		s.stepTimer = st
@@ -205,6 +212,11 @@ func (s *Session) Step() (bool, error) {
 	}
 
 	t := s.t + 1
+	// Telemetry stamps and spans are side-channel reads: they observe
+	// the step, never steer it. Disabled, each costs one atomic load;
+	// the per-step span honors the trace sampling stride.
+	stepStart := obs.Clock()
+	sp := obs.StartRegionEvery("step", "session", int64(t))
 	prevSyncs := s.env.SyncCount
 	s.env.ForEachWorker(s.stepBody)
 	if s.stepTimer != nil {
@@ -212,10 +224,12 @@ func (s *Session) Step() (bool, error) {
 		// strategy's collectives add their communication time.
 		s.stepTimer.StepDone(t)
 	}
+	syncStart := obs.Clock()
 	s.strat.AfterLocalStep(s.env, t)
 	s.t = t
 	s.res.Steps = t
 	s.emit(StepEvent{Step: t, Worker: -1})
+	s.tele.steps.Inc()
 	if s.env.SyncCount > prevSyncs {
 		meter := s.env.Fabric.Meter()
 		modelBytes := meter.BytesFor("model")
@@ -226,11 +240,27 @@ func (s *Session) Step() (bool, error) {
 			SyncBytes:  modelBytes - s.modelBytesSeen,
 			TotalBytes: meter.TotalBytes(),
 		})
+		s.tele.syncs.Inc()
+		s.tele.syncSec.Since(syncStart)
+		if obs.Tracing() {
+			obs.Instant("sync", "session", "step", t,
+				"trigger", s.strat.Name(), "sync_bytes", modelBytes-s.modelBytesSeen)
+		}
 		s.modelBytesSeen = modelBytes
+	}
+	s.tele.stepSec.Since(stepStart)
+	if sp.Active() {
+		sp.EndArgs("t", t, "synced", s.env.SyncCount > prevSyncs)
 	}
 
 	if t%s.cfg.EvalEvery == 0 || t == s.cfg.MaxSteps {
+		evalStart := obs.Clock()
+		esp := obs.StartRegion("eval", "session")
 		p := s.evaluate(t)
+		s.tele.evalSec.Since(evalStart)
+		if esp.Active() {
+			esp.EndArgs("step", t, "test_acc", p.TestAcc)
+		}
 		s.res.History = append(s.res.History, p)
 		s.res.FinalTestAcc = p.TestAcc
 		s.emit(EvalEvent{Point: p})

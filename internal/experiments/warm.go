@@ -7,6 +7,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/data"
+	"repro/internal/obs"
 	"repro/internal/runstore"
 )
 
@@ -56,6 +57,8 @@ func runWarm(cfg core.Config, strat core.Strategy, warm *cellWarm) core.Result {
 	// re-observes the restored steps' statistics, so its own running
 	// maximum restarts low and republished prefixes must take the max.
 	var baseGuard float64
+	rsp := obs.StartRegion("warmstart.restore", "runstore")
+	restored := 0
 	if blob, m, found, err := warm.store.BestSnapshot(prefix, cfg.MaxSteps, sharer.AcceptPrefix); err != nil || found {
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "experiments: snapshot store: %v\n", err)
@@ -72,11 +75,15 @@ func runWarm(cfg core.Config, strat core.Strategy, warm *cellWarm) core.Result {
 				panic(fmt.Errorf("experiments: restore prefix %s@%d: %w", m.Hash, m.Steps, err))
 			}
 			baseGuard = m.Guard
+			restored = m.Steps
 			if warm.stats != nil {
 				warm.stats.SnapshotHits.Add(1)
 				warm.stats.StepsSaved.Add(int64(m.Steps))
 			}
 		}
+	}
+	if rsp.Active() {
+		rsp.EndArgs("restored_steps", restored, "hit", restored > 0)
 	}
 
 	every := warm.every

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ValidatePrometheusText checks that text is well-formed Prometheus
+// exposition format (version 0.0.4): every line is a HELP/TYPE comment
+// or a `name{labels} value` sample with a parseable float value, TYPE
+// declarations use a known type, and every histogram family has
+// monotone cumulative buckets ending in a +Inf bucket equal to its
+// _count. It is the parser behind the /metrics tests and the CI smoke.
+func ValidatePrometheusText(text string) error {
+	types := map[string]string{}
+	buckets := map[string][]float64{} // family+labels → cumulative counts
+	infs := map[string]float64{}
+	counts := map[string]float64{}
+	for ln, line := range strings.Split(text, "\n") {
+		line = strings.TrimRight(line, "\r")
+		if line == "" {
+			continue
+		}
+		lineNo := ln + 1
+		if strings.HasPrefix(line, "#") {
+			fields := strings.Fields(line)
+			if len(fields) < 3 || (fields[1] != "HELP" && fields[1] != "TYPE") {
+				return fmt.Errorf("line %d: malformed comment %q", lineNo, line)
+			}
+			if fields[1] == "TYPE" {
+				if len(fields) != 4 {
+					return fmt.Errorf("line %d: malformed TYPE %q", lineNo, line)
+				}
+				switch fields[3] {
+				case "counter", "gauge", "histogram", "summary", "untyped":
+				default:
+					return fmt.Errorf("line %d: unknown metric type %q", lineNo, fields[3])
+				}
+				types[fields[2]] = fields[3]
+			}
+			continue
+		}
+		name, labels, value, err := parseSample(line)
+		if err != nil {
+			return fmt.Errorf("line %d: %w", lineNo, err)
+		}
+		if base, ok := strings.CutSuffix(name, "_bucket"); ok && types[base] == "histogram" {
+			key := base + "|" + stripLabel(labels, "le")
+			if le := labelValue(labels, "le"); le == "+Inf" {
+				infs[key] = value
+			} else if _, err := strconv.ParseFloat(le, 64); err != nil {
+				return fmt.Errorf("line %d: bad le %q", lineNo, le)
+			}
+			prev := buckets[key]
+			if len(prev) > 0 && value < prev[len(prev)-1] {
+				return fmt.Errorf("line %d: histogram %s buckets not cumulative", lineNo, base)
+			}
+			buckets[key] = append(prev, value)
+		}
+		if base, ok := strings.CutSuffix(name, "_count"); ok && types[base] == "histogram" {
+			counts[base+"|"+labels] = value
+		}
+	}
+	for key, inf := range infs {
+		if c, ok := counts[key]; !ok || c != inf {
+			return fmt.Errorf("histogram %s: +Inf bucket %v != _count %v", key, inf, counts[key])
+		}
+	}
+	return nil
+}
+
+// parseSample splits one sample line into name, raw label block (no
+// braces) and value, validating the pieces.
+func parseSample(line string) (name, labels string, value float64, err error) {
+	rest := line
+	i := strings.IndexAny(rest, "{ ")
+	if i <= 0 {
+		return "", "", 0, fmt.Errorf("malformed sample %q", line)
+	}
+	name, rest = rest[:i], rest[i:]
+	for _, r := range name {
+		if !(r == '_' || r == ':' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') || (r >= '0' && r <= '9')) {
+			return "", "", 0, fmt.Errorf("bad metric name %q", name)
+		}
+	}
+	if rest[0] == '{' {
+		end := strings.LastIndex(rest, "}")
+		if end < 0 {
+			return "", "", 0, fmt.Errorf("unterminated label block in %q", line)
+		}
+		labels, rest = rest[1:end], rest[end+1:]
+		if err := checkLabels(labels); err != nil {
+			return "", "", 0, err
+		}
+	}
+	rest = strings.TrimSpace(rest)
+	fields := strings.Fields(rest)
+	if len(fields) < 1 || len(fields) > 2 { // optional timestamp
+		return "", "", 0, fmt.Errorf("malformed sample value in %q", line)
+	}
+	v, err := parsePromValue(fields[0])
+	if err != nil {
+		return "", "", 0, fmt.Errorf("bad value %q: %w", fields[0], err)
+	}
+	return name, labels, v, nil
+}
+
+func parsePromValue(s string) (float64, error) {
+	switch s {
+	case "+Inf", "-Inf", "NaN":
+		s = strings.TrimPrefix(s, "+")
+	}
+	return strconv.ParseFloat(s, 64)
+}
+
+// checkLabels validates a comma-separated k="v" list, honoring escapes.
+func checkLabels(s string) error {
+	for s != "" {
+		eq := strings.Index(s, "=")
+		if eq <= 0 || len(s) < eq+2 || s[eq+1] != '"' {
+			return fmt.Errorf("malformed label block near %q", s)
+		}
+		rest := s[eq+2:]
+		end := -1
+		for i := 0; i < len(rest); i++ {
+			if rest[i] == '\\' {
+				i++
+				continue
+			}
+			if rest[i] == '"' {
+				end = i
+				break
+			}
+		}
+		if end < 0 {
+			return fmt.Errorf("unterminated label value near %q", s)
+		}
+		s = rest[end+1:]
+		if s != "" {
+			if s[0] != ',' {
+				return fmt.Errorf("malformed label separator near %q", s)
+			}
+			s = s[1:]
+		}
+	}
+	return nil
+}
+
+// labelValue extracts one label's unescaped value from a raw block.
+func labelValue(block, key string) string {
+	for _, part := range splitLabels(block) {
+		k, v, ok := strings.Cut(part, "=")
+		if ok && k == key {
+			return strings.NewReplacer(`\\`, `\`, `\"`, `"`, `\n`, "\n").Replace(strings.Trim(v, `"`))
+		}
+	}
+	return ""
+}
+
+// stripLabel returns the block without the given label (so histogram
+// series of one family group together regardless of le).
+func stripLabel(block, key string) string {
+	var kept []string
+	for _, part := range splitLabels(block) {
+		if k, _, ok := strings.Cut(part, "="); !ok || k != key {
+			kept = append(kept, part)
+		}
+	}
+	return strings.Join(kept, ",")
+}
+
+// splitLabels splits on commas outside quoted values.
+func splitLabels(block string) []string {
+	var parts []string
+	depth := false
+	start := 0
+	for i := 0; i < len(block); i++ {
+		switch block[i] {
+		case '\\':
+			i++
+		case '"':
+			depth = !depth
+		case ',':
+			if !depth {
+				parts = append(parts, block[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(block) {
+		parts = append(parts, block[start:])
+	}
+	return parts
+}

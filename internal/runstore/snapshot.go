@@ -9,6 +9,8 @@ import (
 	"sort"
 	"strconv"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // SnapshotManifestVersion gates the on-disk layout of a prefix
@@ -53,7 +55,15 @@ func (s *Store) snapDir(hash string, steps int) string {
 // (prefix, steps) write byte-identical state (determinism) and equal
 // guards (the guard is a pure function of the trajectory), so losing
 // the rename race is success.
-func (s *Store) PutSnapshot(p PrefixSpec, steps int, guard float64, blob []byte) error {
+func (s *Store) PutSnapshot(p PrefixSpec, steps int, guard float64, blob []byte) (err error) {
+	start := obs.Clock()
+	sp := obs.StartRegion("runstore.PutSnapshot", "runstore")
+	defer func() {
+		snapPutSec.Since(start)
+		if sp.Active() {
+			sp.EndArgs("steps", steps, "bytes", len(blob), "ok", err == nil)
+		}
+	}()
 	if steps <= 0 {
 		return fmt.Errorf("runstore: snapshot at non-positive step %d", steps)
 	}
@@ -120,17 +130,25 @@ func readSnapshotBlob(dir string, m SnapshotManifest) ([]byte, error) {
 // GetSnapshot loads the snapshot stored for p at exactly steps. ok is
 // false on a miss; a non-nil error wrapping ErrCorrupt additionally
 // reports an entry that exists but failed verification.
-func (s *Store) GetSnapshot(p PrefixSpec, steps int) ([]byte, SnapshotManifest, bool, error) {
+func (s *Store) GetSnapshot(p PrefixSpec, steps int) (blob []byte, m SnapshotManifest, ok bool, err error) {
+	start := obs.Clock()
+	sp := obs.StartRegion("runstore.GetSnapshot", "runstore")
+	defer func() {
+		snapGetSec.Since(start)
+		if sp.Active() {
+			sp.EndArgs("steps", steps, "hit", ok)
+		}
+	}()
 	hash := p.Canonical().Hash()
 	dir := s.snapDir(hash, steps)
-	m, err := loadSnapshotManifest(dir, hash, steps)
+	m, err = loadSnapshotManifest(dir, hash, steps)
 	if err != nil {
 		if os.IsNotExist(err) {
 			return nil, SnapshotManifest{}, false, nil
 		}
 		return nil, SnapshotManifest{}, false, err
 	}
-	blob, err := readSnapshotBlob(dir, m)
+	blob, err = readSnapshotBlob(dir, m)
 	if err != nil {
 		return nil, SnapshotManifest{}, false, err
 	}
@@ -144,7 +162,20 @@ func (s *Store) GetSnapshot(p PrefixSpec, steps int) ([]byte, SnapshotManifest, 
 // skipped — the first such error is reported alongside whatever result
 // the scan still found, so callers can fall back to a cold start while
 // surfacing the damage.
-func (s *Store) BestSnapshot(p PrefixSpec, maxSteps int, accept func(steps int, guard float64) bool) ([]byte, SnapshotManifest, bool, error) {
+func (s *Store) BestSnapshot(p PrefixSpec, maxSteps int, accept func(steps int, guard float64) bool) (blob []byte, m SnapshotManifest, ok bool, err error) {
+	start := obs.Clock()
+	sp := obs.StartRegion("runstore.BestSnapshot", "runstore")
+	defer func() {
+		snapBestSec.Since(start)
+		if ok {
+			bestHits.Inc()
+		} else {
+			bestMisses.Inc()
+		}
+		if sp.Active() {
+			sp.EndArgs("hit", ok, "steps", m.Steps)
+		}
+	}()
 	hash := p.Canonical().Hash()
 	base := filepath.Join(s.dir, "snapshots", hash[:2], hash)
 	entries, err := os.ReadDir(base)

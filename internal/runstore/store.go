@@ -10,6 +10,8 @@ import (
 	"path/filepath"
 	"sort"
 	"time"
+
+	"repro/internal/obs"
 )
 
 // ManifestVersion gates the on-disk layout of a run entry.
@@ -151,7 +153,15 @@ func loadManifest(dir string) (Manifest, error) {
 // non-nil error wrapping ErrCorrupt additionally reports an entry that
 // exists but failed verification (also returned as a miss so callers
 // recompute).
-func (s *Store) Get(spec Spec) ([]json.RawMessage, bool, error) {
+func (s *Store) Get(spec Spec) (recs []json.RawMessage, ok bool, err error) {
+	start := obs.Clock()
+	sp := obs.StartRegion("runstore.Get", "runstore")
+	defer func() {
+		getSec.Since(start)
+		if sp.Active() {
+			sp.EndArgs("hit", ok)
+		}
+	}()
 	spec = spec.Canonical()
 	hash := spec.Hash()
 	dir := s.runDir(hash)
@@ -175,7 +185,7 @@ func (s *Store) Get(spec Spec) ([]json.RawMessage, bool, error) {
 	if int64(len(rb)) != m.Bytes || fmt.Sprintf("%016x", crc64.Checksum(rb, crcTable)) != m.CRC64 {
 		return nil, false, fmt.Errorf("%w: records %s fail CRC", ErrCorrupt, hash)
 	}
-	recs := splitLines(rb)
+	recs = splitLines(rb)
 	if len(recs) != m.Records {
 		return nil, false, fmt.Errorf("%w: records %s hold %d lines, manifest says %d",
 			ErrCorrupt, hash, len(recs), m.Records)
@@ -187,7 +197,15 @@ func (s *Store) Get(spec Spec) ([]json.RawMessage, bool, error) {
 // existing entry. The entry is staged in the store's tmp area and
 // renamed into place, so concurrent or interrupted writers leave either
 // the old entry or the complete new one.
-func (s *Store) Put(spec Spec, records []json.RawMessage) error {
+func (s *Store) Put(spec Spec, records []json.RawMessage) (err error) {
+	start := obs.Clock()
+	sp := obs.StartRegion("runstore.Put", "runstore")
+	defer func() {
+		putSec.Since(start)
+		if sp.Active() {
+			sp.EndArgs("records", len(records), "ok", err == nil)
+		}
+	}()
 	spec = spec.Canonical()
 	hash := spec.Hash()
 
