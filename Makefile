@@ -1,12 +1,32 @@
 GO ?= go
 
-.PHONY: check build fmt vet test race allocs bench apicheck apigen
+.PHONY: check build fmt vet lint fuzz test race allocs bench apicheck apigen
 
-# check is the CI gate: formatting, static analysis, the public-API
-# surface diff, the full test suite under the race detector, the
-# zero-allocation regressions (which must run without -race, where they
-# self-skip), and a benchmark smoke.
-check: fmt vet apicheck race allocs bench
+# check is the CI gate: formatting, static analysis (go vet plus the
+# fdavet invariant analyzers), the public-API surface diff, the full
+# test suite under the race detector, the zero-allocation regressions
+# (which must run without -race, where they self-skip), and a
+# benchmark smoke.
+check: fmt vet lint apicheck race allocs bench
+
+# lint runs the fdavet suite (DESIGN.md §12): detmap, wallclock,
+# floatsum, obswrite and noalloc enforce the determinism, zero-alloc
+# and telemetry-non-interference invariants on every package. Exits
+# non-zero on any finding, including unused //fda:allow annotations.
+lint:
+	$(GO) run ./cmd/fdavet ./...
+
+# fuzz gives each native fuzz target a short adversarial run on top of
+# its always-on seed corpus (the seeds run as plain tests under
+# `go test`). Targets: the checkpoint v2 container decoder, the
+# compress wire-frame decoders and the Prometheus exposition validator
+# — every parser that consumes bytes from disk or socket.
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/checkpoint -fuzz FuzzUnmarshal -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/compress -fuzz FuzzWireDecode -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/compress -fuzz FuzzWireRoundtrip -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/obs -fuzz FuzzValidatePrometheusText -fuzztime $(FUZZTIME)
 
 # The public surface of the fda package is pinned in docs/fda-api.txt
 # (a go doc -all dump). apicheck fails when a change alters it without

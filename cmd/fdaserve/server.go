@@ -9,6 +9,7 @@ import (
 	"net/http"
 	"net/http/pprof"
 	"os"
+	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -238,9 +239,17 @@ func simulatedBytes(result any) int64 {
 	default:
 		return 0
 	}
+	// Sum in sorted key order: float addition is not associative, and the
+	// aggregate feeds a metrics endpoint that should be byte-stable across
+	// restarts of the same job history.
+	keys := make([]string, 0, len(maxPerCell))
+	for k := range maxPerCell {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
 	var gb float64
-	for _, v := range maxPerCell {
-		gb += v
+	for _, k := range keys {
+		gb += maxPerCell[k]
 	}
 	return int64(gb * 1e9)
 }

@@ -1,0 +1,112 @@
+// Command fdavet is the repository's invariant checker: five custom
+// analyzers (detmap, wallclock, floatsum, obswrite, noalloc) that turn
+// the determinism, zero-allocation and telemetry-non-interference
+// contracts into compiler-adjacent checks running on every package
+// (DESIGN.md §12).
+//
+// Standalone:
+//
+//	fdavet ./...            # analyze packages, human-readable findings
+//	fdavet -json ./...      # machine-readable findings (CI annotations)
+//
+// As a go vet tool (one package per invocation, driven by the go
+// command's build graph):
+//
+//	go vet -vettool=$(which fdavet) ./...
+//
+// Exit status: 0 clean, 1 infrastructure failure, 2 findings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+func main() {
+	// go vet protocol handshakes arrive before normal flag parsing.
+	for _, arg := range os.Args[1:] {
+		switch {
+		case arg == "-V=full" || arg == "--V=full":
+			// Tool identity for the go command's action cache.
+			fmt.Printf("fdavet version v8\n")
+			return
+		case arg == "-flags" || arg == "--flags":
+			// No analyzer flags are exposed through go vet.
+			fmt.Println("[]")
+			return
+		case strings.HasSuffix(arg, ".cfg"):
+			os.Exit(vetUnit(arg))
+		}
+	}
+
+	jsonOut := flag.Bool("json", false, "emit findings as a JSON array (file/line/col/analyzer/message)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: fdavet [-json] [packages]\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	dir, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := lint.Load(dir, patterns...)
+	if err != nil {
+		fatal(err)
+	}
+	diags, err := lint.Run(pkgs, lint.Analyzers())
+	if err != nil {
+		fatal(err)
+	}
+	if *jsonOut {
+		if err := writeJSON(os.Stdout, diags); err != nil {
+			fatal(err)
+		}
+	} else {
+		for _, d := range diags {
+			fmt.Printf("%s\n", d)
+		}
+	}
+	if len(diags) > 0 {
+		os.Exit(2)
+	}
+}
+
+// finding is the -json wire shape: one diagnostic, stable field names.
+type finding struct {
+	File     string `json:"file"`
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Message  string `json:"message"`
+}
+
+func writeJSON(w *os.File, diags []lint.Diagnostic) error {
+	findings := make([]finding, 0, len(diags))
+	for _, d := range diags {
+		findings = append(findings, finding{
+			File:     d.Pos.Filename,
+			Line:     d.Pos.Line,
+			Col:      d.Pos.Column,
+			Analyzer: d.Analyzer,
+			Message:  d.Message,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(findings)
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "fdavet: %v\n", err)
+	os.Exit(1)
+}

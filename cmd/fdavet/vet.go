@@ -1,0 +1,108 @@
+// The go vet unit-checker protocol: when driven by
+// `go vet -vettool=fdavet`, the go command invokes the tool once per
+// package with a JSON config file describing the unit — source files,
+// the import map, and compiled export data for every dependency. The
+// tool type-checks the unit against that export data (no network, no
+// re-resolution), runs the suite, writes an (empty) facts file, and
+// exits 2 when it found anything.
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"strings"
+
+	"repro/internal/lint"
+)
+
+// vetConfig mirrors the fields of the go command's vet config file
+// that fdavet consumes (the file carries more; unknown keys are
+// ignored by encoding/json).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// vetUnit analyzes one go vet unit; its return value is the process
+// exit status.
+func vetUnit(cfgPath string) int {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdavet: %v\n", err)
+		return 1
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		fmt.Fprintf(os.Stderr, "fdavet: parsing %s: %v\n", cfgPath, err)
+		return 1
+	}
+	// fdavet exports no facts, but the protocol requires the file.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, []byte{}, 0o666); err != nil {
+			fmt.Fprintf(os.Stderr, "fdavet: %v\n", err)
+			return 1
+		}
+	}
+	if cfg.VetxOnly {
+		return 0
+	}
+	// The invariants govern shipped code; test files (and the test
+	// variants go vet also feeds through) are the dynamic layer's
+	// domain. External test units filter down to zero files.
+	var files []string
+	for _, f := range cfg.GoFiles {
+		if !strings.HasSuffix(f, "_test.go") {
+			files = append(files, f)
+		}
+	}
+	if len(files) == 0 {
+		return 0
+	}
+	importPath := cfg.ImportPath
+	if i := strings.Index(importPath, " ["); i >= 0 {
+		importPath = importPath[:i] // "pkg [pkg.test]" variant
+	}
+
+	fset := token.NewFileSet()
+	lookup := func(path string) (io.ReadCloser, error) {
+		if canon, ok := cfg.ImportMap[path]; ok {
+			path = canon
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("fdavet: no export data for %q in vet config", path)
+		}
+		return os.Open(file)
+	}
+	pkg := lint.CheckDir(fset, cfg.Dir, importPath, files, lint.GcImporter(fset, lookup))
+	if pkg.Err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0
+		}
+		fmt.Fprintf(os.Stderr, "fdavet: %s: %v\n", importPath, pkg.Err)
+		return 1
+	}
+	diags, err := lint.Run([]*lint.Package{pkg}, lint.Analyzers())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "fdavet: %v\n", err)
+		return 1
+	}
+	for _, d := range diags {
+		fmt.Fprintf(os.Stderr, "%s\n", d)
+	}
+	if len(diags) > 0 {
+		return 2
+	}
+	return 0
+}

@@ -197,13 +197,16 @@ func Read(r io.Reader) (*Snapshot, error) {
 		if n > maxLen {
 			return nil, fmt.Errorf("checkpoint: implausible vector length %d", n)
 		}
-		v := make([]float64, n)
+		// Grow as bytes actually arrive instead of trusting the header:
+		// a truncated or corrupt stream then fails with EOF after the
+		// available data, not an n-sized up-front allocation.
+		v := make([]float64, 0, min(n, 4096))
 		var buf [8]byte
-		for i := range v {
+		for i := uint64(0); i < n; i++ {
 			if _, err := io.ReadFull(in, buf[:]); err != nil {
 				return nil, err
 			}
-			v[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[:]))
+			v = append(v, math.Float64frombits(binary.LittleEndian.Uint64(buf[:])))
 		}
 		return v, nil
 	}
@@ -261,7 +264,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 		if ns > maxEntries {
 			return nil, fmt.Errorf("checkpoint: implausible section count %d", ns)
 		}
-		sections = make(map[string][]float64, ns)
+		sections = make(map[string][]float64, min(ns, 1024))
 		for i := uint64(0); i < ns; i++ {
 			name, err := readStr()
 			if err != nil {
@@ -280,7 +283,7 @@ func Read(r io.Reader) (*Snapshot, error) {
 		if nc > maxEntries {
 			return nil, fmt.Errorf("checkpoint: implausible counter count %d", nc)
 		}
-		counters = make(map[string]uint64, nc)
+		counters = make(map[string]uint64, min(nc, 1024))
 		for i := uint64(0); i < nc; i++ {
 			name, err := readStr()
 			if err != nil {

@@ -117,6 +117,7 @@ func (m *Meter) Kinds() []string {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	out := make([]string, 0, len(m.bytes))
+	//fda:allow(detmap, key collection is sorted two lines below; result is order-independent)
 	for k := range m.bytes {
 		out = append(out, k)
 	}
@@ -327,10 +328,9 @@ func (c *Cluster) AllReduceScalars(kind string, xs []float64) float64 {
 	if len(xs) != c.k {
 		panic("comm: AllReduceScalars arity mismatch")
 	}
-	var s float64
-	for _, x := range xs {
-		s += x
-	}
+	// tensor.Sum is left-to-right, so this is bit-identical to the
+	// sequential loop it replaced (fdavet/floatsum).
+	s := tensor.Sum(xs)
 	c.charge(kind, 1)
 	return s / float64(len(xs))
 }

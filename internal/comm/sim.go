@@ -105,6 +105,7 @@ func ScenarioByName(name string) (Scenario, error) {
 		return s, nil
 	}
 	names := make([]string, 0, 3)
+	//fda:allow(detmap, key collection is sorted before use; error-path only)
 	for n := range Scenarios() {
 		names = append(names, n)
 	}

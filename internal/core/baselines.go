@@ -23,6 +23,8 @@ func (s *Synchronous) Name() string { return "Synchronous" }
 func (s *Synchronous) Init(_ *Env) {}
 
 // AfterLocalStep implements Strategy.
+//
+//fda:noalloc
 func (s *Synchronous) AfterLocalStep(env *Env, _ int) { env.SyncModels() }
 
 // LocalSGD synchronizes every Tau steps regardless of training state —
@@ -46,6 +48,8 @@ func (l *LocalSGD) Name() string { return fmt.Sprintf("LocalSGD(τ=%d)", l.Tau) 
 func (l *LocalSGD) Init(_ *Env) {}
 
 // AfterLocalStep implements Strategy.
+//
+//fda:noalloc
 func (l *LocalSGD) AfterLocalStep(env *Env, t int) {
 	if t%l.Tau == 0 {
 		env.SyncModels()

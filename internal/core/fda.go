@@ -131,6 +131,8 @@ func (s *SketchFDA) Init(env *Env) {
 }
 
 // AfterLocalStep implements Strategy.
+//
+//fda:noalloc
 func (s *SketchFDA) AfterLocalStep(env *Env, _ int) {
 	// Per-worker drift and sketch computations are independent (the
 	// Sketcher is immutable after Precompute) and run on the pool; the
@@ -224,6 +226,8 @@ func (l *LinearFDA) RestoreState(vecs [][]float64, counters []uint64) error {
 }
 
 // AfterLocalStep implements Strategy.
+//
+//fda:noalloc
 func (l *LinearFDA) AfterLocalStep(env *Env, _ int) {
 	env.ForEachWorker(l.body)
 	env.Fabric.AllReduceMean("state", l.meanSt, l.states)

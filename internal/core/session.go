@@ -461,9 +461,11 @@ func (s *Session) snapshot(withStrategy bool) (*checkpoint.Snapshot, error) {
 	}
 
 	bytes, ops := env.Fabric.Meter().Snapshot()
+	//fda:allow(detmap, AddU64 writes distinct map keys; checkpoint.Write serializes them sorted)
 	for kind, b := range bytes {
 		snap.AddU64("meter.b."+kind, uint64(b))
 	}
+	//fda:allow(detmap, AddU64 writes distinct map keys; checkpoint.Write serializes them sorted)
 	for kind, o := range ops {
 		snap.AddU64("meter.o."+kind, uint64(o))
 	}
@@ -589,6 +591,7 @@ func (s *Session) Restore(snap *checkpoint.Snapshot) error {
 
 	bytes := map[string]int64{}
 	ops := map[string]int64{}
+	//fda:allow(detmap, map-to-map filter with distinct keys; write order is invisible)
 	for name, v := range snap.Counters {
 		switch {
 		case len(name) > 8 && name[:8] == "meter.b.":

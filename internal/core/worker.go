@@ -31,6 +31,8 @@ type Worker struct {
 
 // LocalStep performs one mini-batch Optimize step and returns the batch
 // loss.
+//
+//fda:noalloc
 func (w *Worker) LocalStep(batchSize int) float64 {
 	w.sampler.SampleInto(&w.batch, batchSize)
 	loss := w.Net.LossGradBatch(w.batch)

@@ -1,0 +1,192 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetmapAnalyzer flags `range` over a map in the deterministic
+// packages. Go randomizes map iteration order, so any map-ordered loop
+// whose body is not provably order-insensitive is a latent
+// determinism break — exactly the class of bug the PR 1 parity tests
+// can only catch on the paths they happen to drive.
+//
+// A loop body passes the conservative order-insensitivity whitelist
+// when every statement is commutative across iterations:
+//
+//   - a write into a map indexed by the range key variable itself
+//     (`out[k] = v` — distinct keys of the source map hit distinct
+//     destination keys, so writes commute); the value must be a pure
+//     expression (no calls except type conversions),
+//   - `delete(m, k)` keyed by the range key variable,
+//   - an integer count (`n++`, `n--`, `n += pure`) — integer addition
+//     is associative and commutative, unlike the float accumulations
+//     floatsum polices.
+//
+// Anything else — appends, float math, sends, calls — needs sorted
+// keys or an explicit //fda:allow(detmap, reason).
+var DetmapAnalyzer = &Analyzer{
+	Name: "detmap",
+	Doc:  "flags iteration-order-dependent map ranges in deterministic packages",
+	Run:  runDetmap,
+}
+
+func runDetmap(pass *Pass) error {
+	if !DeterministicPackage(pass.Path) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if detmapWhitelisted(pass, rs) {
+				return true
+			}
+			pass.Reportf(rs.Pos(),
+				"range over map %s is iteration-order-dependent; iterate sorted keys (checkpoint.sortedKeys idiom) or annotate //fda:allow(detmap, reason) if provably order-insensitive",
+				t.String())
+			return true
+		})
+	}
+	return nil
+}
+
+// detmapWhitelisted reports whether every statement in the loop body
+// is on the order-insensitive whitelist.
+func detmapWhitelisted(pass *Pass, rs *ast.RangeStmt) bool {
+	keyObj := rangeVarObj(pass, rs.Key)
+	if rs.Body == nil || len(rs.Body.List) == 0 {
+		return true // empty body: nothing order-dependent
+	}
+	for _, stmt := range rs.Body.List {
+		if !detmapStmtOK(pass, stmt, keyObj) {
+			return false
+		}
+	}
+	return true
+}
+
+func rangeVarObj(pass *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" || pass.Info == nil {
+		return nil
+	}
+	return pass.Info.ObjectOf(id)
+}
+
+func detmapStmtOK(pass *Pass, stmt ast.Stmt, keyObj types.Object) bool {
+	switch s := stmt.(type) {
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 {
+			return false
+		}
+		switch s.Tok {
+		case token.ASSIGN:
+			// out[k] = pure — distinct source keys, distinct dest keys.
+			ix, ok := s.Lhs[0].(*ast.IndexExpr)
+			if !ok || keyObj == nil {
+				return false
+			}
+			if t := pass.TypeOf(ix.X); t == nil {
+				return false
+			} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return false
+			}
+			if !isIdentOf(pass, ix.Index, keyObj) {
+				return false
+			}
+			return pureExpr(pass, s.Rhs[0])
+		case token.ADD_ASSIGN, token.SUB_ASSIGN:
+			// integer counting only; floats must go through kernels.
+			return integerLHS(pass, s.Lhs[0]) && pureExpr(pass, s.Rhs[0])
+		}
+		return false
+	case *ast.IncDecStmt:
+		return integerLHS(pass, s.X)
+	case *ast.ExprStmt:
+		// delete(m, k)
+		call, ok := s.X.(*ast.CallExpr)
+		if !ok || len(call.Args) != 2 || keyObj == nil {
+			return false
+		}
+		fn, ok := call.Fun.(*ast.Ident)
+		if !ok || fn.Name != "delete" {
+			return false
+		}
+		if obj := pass.Info.ObjectOf(fn); obj == nil || obj.Pkg() != nil {
+			return false // shadowed delete
+		}
+		return isIdentOf(pass, call.Args[1], keyObj)
+	}
+	return false
+}
+
+func isIdentOf(pass *Pass, e ast.Expr, obj types.Object) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && pass.Info != nil && pass.Info.ObjectOf(id) == obj
+}
+
+func integerLHS(pass *Pass, e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	t := pass.TypeOf(id)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// pureExpr reports whether e is side-effect-free and call-free (type
+// conversions excepted): identifiers, literals, selectors, indexing,
+// arithmetic, address-of and composite literals of pure parts.
+func pureExpr(pass *Pass, e ast.Expr) bool {
+	switch e := e.(type) {
+	case *ast.Ident, *ast.BasicLit:
+		return true
+	case *ast.ParenExpr:
+		return pureExpr(pass, e.X)
+	case *ast.SelectorExpr:
+		return pureExpr(pass, e.X)
+	case *ast.IndexExpr:
+		return pureExpr(pass, e.X) && pureExpr(pass, e.Index)
+	case *ast.BinaryExpr:
+		return pureExpr(pass, e.X) && pureExpr(pass, e.Y)
+	case *ast.UnaryExpr:
+		return e.Op != token.ARROW && pureExpr(pass, e.X)
+	case *ast.StarExpr:
+		return pureExpr(pass, e.X)
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				if !pureExpr(pass, kv.Key) || !pureExpr(pass, kv.Value) {
+					return false
+				}
+			} else if !pureExpr(pass, el) {
+				return false
+			}
+		}
+		return true
+	case *ast.CallExpr:
+		// Type conversions are pure; function calls are not assumed so.
+		if pass.Info != nil {
+			if tv, ok := pass.Info.Types[e.Fun]; ok && tv.IsType() && len(e.Args) == 1 {
+				return pureExpr(pass, e.Args[0])
+			}
+		}
+		return false
+	}
+	return false
+}

@@ -1,0 +1,204 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatsumAnalyzer flags raw floating-point accumulation loops —
+// `s += x[i]`, `s += x[i]*y[i]`, `s += v` over a ranged float slice —
+// outside internal/tensor. Floating-point addition is not
+// associative, so every reduction must run through the order-pinned
+// fused kernels from PR 3 (tensor.Sum, tensor.Dot,
+// tensor.SubThenSquaredNorm, ...): those pin the scalar accumulation
+// order that the parity tests certify, and an ad-hoc loop that later
+// gets "optimized" (unrolled, reordered, parallelized) silently
+// changes trajectories. Accumulating the *results* of kernel calls
+// across blocks (`s += tensor.Dot(a, b)`) is fine — block order is
+// pinned by the enclosing slice iteration — so call results are
+// deliberately not flagged.
+var FloatsumAnalyzer = &Analyzer{
+	Name: "floatsum",
+	Doc:  "flags raw float64 element-accumulation loops outside internal/tensor",
+	Run:  runFloatsum,
+}
+
+func runFloatsum(pass *Pass) error {
+	if !DeterministicPackage(pass.Path) || pass.Path == modulePath+"/internal/tensor" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		walkFloatsum(pass, f, nil, map[types.Object]bool{})
+	}
+	return nil
+}
+
+// walkFloatsum recurses carrying the innermost enclosing loop node and
+// the set of range-value variables bound to float slice elements.
+func walkFloatsum(pass *Pass, n ast.Node, loop ast.Node, rangeVals map[types.Object]bool) {
+	switch n := n.(type) {
+	case nil:
+		return
+	case *ast.ForStmt:
+		if n.Init != nil {
+			walkFloatsum(pass, n.Init, loop, rangeVals)
+		}
+		walkFloatsumBody(pass, n.Body, n, rangeVals)
+		return
+	case *ast.RangeStmt:
+		inner := rangeVals
+		if obj := floatRangeValue(pass, n); obj != nil {
+			inner = make(map[types.Object]bool, len(rangeVals)+1)
+			for k := range rangeVals {
+				inner[k] = true
+			}
+			inner[obj] = true
+		}
+		walkFloatsumBody(pass, n.Body, n, inner)
+		return
+	case *ast.AssignStmt:
+		checkFloatsumAssign(pass, n, loop, rangeVals)
+	}
+	// Generic recursion preserving the current loop context.
+	children(n, func(c ast.Node) {
+		walkFloatsum(pass, c, loop, rangeVals)
+	})
+}
+
+func walkFloatsumBody(pass *Pass, body *ast.BlockStmt, loop ast.Node, rangeVals map[types.Object]bool) {
+	if body == nil {
+		return
+	}
+	for _, stmt := range body.List {
+		walkFloatsum(pass, stmt, loop, rangeVals)
+	}
+}
+
+// children invokes fn on each direct child node of n.
+func children(n ast.Node, fn func(ast.Node)) {
+	first := true
+	ast.Inspect(n, func(c ast.Node) bool {
+		if first {
+			first = false
+			return true
+		}
+		if c != nil {
+			fn(c)
+		}
+		return false
+	})
+}
+
+// floatRangeValue returns the object of the range value variable when
+// n ranges over a slice/array of floats.
+func floatRangeValue(pass *Pass, n *ast.RangeStmt) types.Object {
+	if n.Value == nil || pass.Info == nil {
+		return nil
+	}
+	t := pass.TypeOf(n.X)
+	if t == nil {
+		return nil
+	}
+	var elem types.Type
+	switch u := t.Underlying().(type) {
+	case *types.Slice:
+		elem = u.Elem()
+	case *types.Array:
+		elem = u.Elem()
+	default:
+		return nil
+	}
+	if !isFloat(elem) {
+		return nil
+	}
+	return rangeVarObj(pass, n.Value)
+}
+
+func isFloat(t types.Type) bool {
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// checkFloatsumAssign flags `s += <element expr>` where s is a float
+// scalar declared outside the innermost loop.
+func checkFloatsumAssign(pass *Pass, as *ast.AssignStmt, loop ast.Node, rangeVals map[types.Object]bool) {
+	if loop == nil || as.Tok != token.ADD_ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return
+	}
+	lhs, ok := ast.Unparen(as.Lhs[0]).(*ast.Ident)
+	if !ok || pass.Info == nil {
+		return
+	}
+	obj := pass.Info.ObjectOf(lhs)
+	if obj == nil || !isFloat(obj.Type()) {
+		return
+	}
+	// Accumulators declared inside the loop body reset every iteration
+	// and are no cross-iteration reduction.
+	if obj.Pos() > loop.Pos() {
+		return
+	}
+	if elementRead(pass, as.Rhs[0], rangeVals) {
+		pass.Reportf(as.Pos(),
+			"raw float accumulation %s += ... in a loop; reductions must use the order-pinned fused kernels (tensor.Sum/Dot/SubThenSquaredNorm), or annotate //fda:allow(floatsum, reason)", lhs.Name)
+	}
+}
+
+// elementRead reports whether e is built purely from float
+// slice/array element reads (x[i], a ranged value variable) combined
+// with arithmetic — the shape a fused kernel replaces.
+func elementRead(pass *Pass, e ast.Expr, rangeVals map[types.Object]bool) bool {
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return elementRead(pass, e.X, rangeVals)
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB && elementRead(pass, e.X, rangeVals)
+	case *ast.BinaryExpr:
+		switch e.Op {
+		case token.ADD, token.SUB, token.MUL, token.QUO:
+			return (elementRead(pass, e.X, rangeVals) && floatOperand(pass, e.Y, rangeVals)) ||
+				(floatOperand(pass, e.X, rangeVals) && elementRead(pass, e.Y, rangeVals))
+		}
+		return false
+	case *ast.IndexExpr:
+		t := pass.TypeOf(e)
+		xt := pass.TypeOf(e.X)
+		if t == nil || xt == nil || !isFloat(t) {
+			return false
+		}
+		switch xt.Underlying().(type) {
+		case *types.Slice, *types.Array:
+			return true
+		}
+		return false
+	case *ast.Ident:
+		if pass.Info == nil {
+			return false
+		}
+		return rangeVals[pass.Info.ObjectOf(e)]
+	}
+	return false
+}
+
+// floatOperand is elementRead's companion for the non-element side of
+// a product/quotient: element reads, plain float identifiers,
+// selectors and literals all qualify (e.g. s += w.scale * x[i]).
+func floatOperand(pass *Pass, e ast.Expr, rangeVals map[types.Object]bool) bool {
+	if elementRead(pass, e, rangeVals) {
+		return true
+	}
+	switch e := e.(type) {
+	case *ast.ParenExpr:
+		return floatOperand(pass, e.X, rangeVals)
+	case *ast.UnaryExpr:
+		return e.Op == token.SUB && floatOperand(pass, e.X, rangeVals)
+	case *ast.BasicLit, *ast.SelectorExpr:
+		t := pass.TypeOf(e)
+		return t != nil && isFloat(t)
+	case *ast.Ident:
+		t := pass.TypeOf(e)
+		return t != nil && isFloat(t)
+	}
+	return false
+}

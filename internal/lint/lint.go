@@ -1,0 +1,240 @@
+// Package lint is fdavet's analysis framework: a small, dependency-free
+// analogue of golang.org/x/tools/go/analysis that statically enforces
+// the repository's three load-bearing invariants — bit-exact
+// determinism at any parallelism (DESIGN.md §3), zero allocations on
+// the training hot path (§7), and telemetry non-interference (§11) —
+// on every package, every build, instead of only on the code paths the
+// dynamic test matrix happens to drive.
+//
+// The framework deliberately mirrors go/analysis (Analyzer, Pass,
+// Reportf) so the analyzers port mechanically to the upstream
+// framework if the x/tools dependency ever becomes available; the
+// loader (load.go) feeds it fully type-checked packages using only the
+// standard library and the go command.
+//
+// # The annotation grammar
+//
+// Every exemption is explicit and greppable (DESIGN.md §12):
+//
+//	//fda:allow(analyzer, reason)
+//
+// suppresses diagnostics from the named analyzer on the annotation's
+// own line and on the line directly below it (so it works both as a
+// trailing comment and as a standalone comment above a statement). The
+// reason is mandatory. An allow that suppresses nothing is itself a
+// diagnostic — deleting the violation without deleting its annotation
+// fails the build, and so does deleting the annotation while the
+// violation stands. There are no silent exemptions.
+//
+//	//fda:noalloc
+//
+// on a function declaration opts that function into the noalloc
+// analyzer's escape-analysis check: any compiler-reported heap
+// allocation inside its body fails the build (see noalloc.go).
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named static check. Run is invoked once per loaded
+// package; it reports findings through the Pass and returns an error
+// only for infrastructure failures (never for findings).
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Diagnostic is one finding, resolved to a concrete position.
+type Diagnostic struct {
+	Pos      token.Position
+	Analyzer string
+	Message  string
+}
+
+// String renders the go-vet-style single-line form.
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s: %s", d.Pos, d.Analyzer, d.Message)
+}
+
+// Pass carries one analyzer's view of one type-checked package.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File
+	Path     string // import path under analysis
+	Pkg      *types.Package
+	Info     *types.Info
+	Dir      string // package directory (noalloc shells out from here)
+
+	allows *allowIndex
+	sink   *[]Diagnostic
+}
+
+// Reportf records a finding at pos unless an //fda:allow annotation
+// for this analyzer covers the position's line.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	position := p.Fset.Position(pos)
+	p.report(position, fmt.Sprintf(format, args...))
+}
+
+// report is the position-resolved core of Reportf (noalloc reports
+// compiler positions that never passed through the FileSet).
+func (p *Pass) report(position token.Position, msg string) {
+	if p.allows.suppress(p.Analyzer.Name, position.Filename, position.Line) {
+		return
+	}
+	*p.sink = append(*p.sink, Diagnostic{Pos: position, Analyzer: p.Analyzer.Name, Message: msg})
+}
+
+// TypeOf is a nil-tolerant p.Info.TypeOf.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	if p.Info == nil {
+		return nil
+	}
+	return p.Info.TypeOf(e)
+}
+
+// allowRE matches the suppression annotation. The reason must be
+// non-empty after trimming; the analyzer name must be a known one
+// (checked by Run so typos cannot silently disable nothing).
+var allowRE = regexp.MustCompile(`^//fda:allow\(([a-zA-Z0-9_]+)\s*,\s*(.*)\)\s*$`)
+
+// allowSite is one parsed //fda:allow annotation.
+type allowSite struct {
+	file     string
+	line     int
+	analyzer string
+	reason   string
+	used     bool
+	bad      string // non-empty: malformed, reported verbatim
+}
+
+// allowIndex indexes a package's annotations by (analyzer, file, line).
+type allowIndex struct {
+	sites []*allowSite
+	byKey map[string]*allowSite
+}
+
+func key(analyzer, file string, line int) string {
+	return fmt.Sprintf("%s\x00%s\x00%d", analyzer, file, line)
+}
+
+// parseAllows scans every comment in the package for the annotation
+// grammar. known maps analyzer name → present, for typo detection.
+func parseAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) *allowIndex {
+	idx := &allowIndex{byKey: map[string]*allowSite{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//fda:allow") {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				site := &allowSite{file: pos.Filename, line: pos.Line}
+				m := allowRE.FindStringSubmatch(text)
+				switch {
+				case m == nil:
+					site.bad = fmt.Sprintf("malformed annotation %q: want //fda:allow(analyzer, reason)", text)
+				case strings.TrimSpace(m[2]) == "":
+					site.bad = fmt.Sprintf("annotation %q has an empty reason", text)
+				case !known[m[1]]:
+					site.bad = fmt.Sprintf("annotation %q names unknown analyzer %q", text, m[1])
+				default:
+					site.analyzer, site.reason = m[1], strings.TrimSpace(m[2])
+					idx.byKey[key(site.analyzer, site.file, site.line)] = site
+				}
+				idx.sites = append(idx.sites, site)
+			}
+		}
+	}
+	return idx
+}
+
+// suppress consumes the annotation covering (file, line), if any. An
+// annotation covers its own line (trailing comment) and the line
+// below it (standalone comment above the statement).
+func (idx *allowIndex) suppress(analyzer, file string, line int) bool {
+	for _, l := range [2]int{line, line - 1} {
+		if s, ok := idx.byKey[key(analyzer, file, l)]; ok {
+			s.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes the analyzers over the loaded packages and returns
+// every diagnostic, including the framework's own: malformed
+// annotations and unused suppressions (an //fda:allow whose analyzer
+// ran but reported nothing on its lines is dead weight that would
+// mask a future violation, so it fails the build too). Diagnostics
+// come back sorted by position for stable output.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range analyzers {
+		known[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		if pkg.Err != nil {
+			return nil, fmt.Errorf("lint: cannot analyze %s: %v", pkg.ImportPath, pkg.Err)
+		}
+		allows := parseAllows(pkg.Fset, pkg.Files, known)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer: a,
+				Fset:     pkg.Fset,
+				Files:    pkg.Files,
+				Path:     pkg.ImportPath,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Dir:      pkg.Dir,
+				allows:   allows,
+				sink:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("lint: %s on %s: %v", a.Name, pkg.ImportPath, err)
+			}
+		}
+		for _, s := range allows.sites {
+			switch {
+			case s.bad != "":
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: s.file, Line: s.line},
+					Analyzer: "fdavet",
+					Message:  s.bad,
+				})
+			case !s.used:
+				diags = append(diags, Diagnostic{
+					Pos:      token.Position{Filename: s.file, Line: s.line},
+					Analyzer: "fdavet",
+					Message: fmt.Sprintf("unused //fda:allow(%s, ...): no %s diagnostic on this or the next line — delete the annotation or restore the exemption it documented",
+						s.analyzer, s.analyzer),
+				})
+			}
+		}
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+	return diags, nil
+}

@@ -1,0 +1,171 @@
+package lint
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/token"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+)
+
+// NoallocAnalyzer makes the zero-allocation contract (DESIGN.md §7) a
+// compile-time property. A function annotated
+//
+//	//fda:noalloc
+//
+// in its doc comment promises the training hot path never heap-
+// allocates inside it. The analyzer recompiles the package with
+// `go build -gcflags=-m` and fails on any escape-analysis diagnostic
+// ("... escapes to heap", "moved to heap: x") positioned inside an
+// annotated function — including diagnostics attributed there from
+// inlined callees. Allocation sites that exist only on panic paths
+// (the fmt.Sprintf argument boxing behind a length-check guard) carry
+// line-level //fda:allow(noalloc, reason) annotations: escape analysis
+// is flow-insensitive, so the exemption must be explicit rather than
+// inferred.
+//
+// The check is deliberately per-function-body: allocations inside
+// non-inlined callees belong to the callee's own annotation. It
+// therefore complements — not replaces — the AllocsPerRun assertions,
+// which measure whole call trees but only on the paths tests drive;
+// noalloc covers every annotated body on every build.
+var NoallocAnalyzer = &Analyzer{
+	Name: "noalloc",
+	Doc:  "fails on compiler-reported heap allocations inside //fda:noalloc functions",
+	Run:  runNoalloc,
+}
+
+// noallocMarker is matched against each doc-comment line.
+const noallocMarker = "//fda:noalloc"
+
+// noallocFunc is one annotated function's source extent.
+type noallocFunc struct {
+	name      string
+	file      string
+	startLine int
+	endLine   int
+}
+
+// escapeRE matches one escape-analysis diagnostic line.
+var escapeRE = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.+)$`)
+
+func runNoalloc(pass *Pass) error {
+	var funcs []noallocFunc
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Doc == nil {
+				continue
+			}
+			for _, c := range fd.Doc.List {
+				if strings.TrimSpace(c.Text) != noallocMarker {
+					continue
+				}
+				start := pass.Fset.Position(fd.Pos())
+				end := pass.Fset.Position(fd.End())
+				funcs = append(funcs, noallocFunc{
+					name:      funcName(fd),
+					file:      start.Filename,
+					startLine: start.Line,
+					endLine:   end.Line,
+				})
+				break
+			}
+		}
+	}
+	if len(funcs) == 0 {
+		return nil
+	}
+	diags, err := escapeDiagnostics(pass)
+	if err != nil {
+		return err
+	}
+	for _, d := range diags {
+		fn := enclosingNoalloc(funcs, d.file, d.line)
+		if fn == nil {
+			continue
+		}
+		pass.report(token.Position{Filename: d.file, Line: d.line, Column: d.col},
+			fmt.Sprintf("heap allocation in //fda:noalloc function %s: %s", fn.name, d.msg))
+	}
+	return nil
+}
+
+func funcName(fd *ast.FuncDecl) string {
+	if fd.Recv != nil && len(fd.Recv.List) == 1 {
+		recv := fd.Recv.List[0].Type
+		var b bytes.Buffer
+		if star, ok := recv.(*ast.StarExpr); ok {
+			b.WriteString("(*")
+			if id, ok := star.X.(*ast.Ident); ok {
+				b.WriteString(id.Name)
+			}
+			b.WriteString(")")
+		} else if id, ok := recv.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+		}
+		return b.String() + "." + fd.Name.Name
+	}
+	return fd.Name.Name
+}
+
+func enclosingNoalloc(funcs []noallocFunc, file string, line int) *noallocFunc {
+	for i := range funcs {
+		f := &funcs[i]
+		if f.file == file && f.startLine <= line && line <= f.endLine {
+			return f
+		}
+	}
+	return nil
+}
+
+// escapeDiag is one parsed heap-allocation diagnostic.
+type escapeDiag struct {
+	file string
+	line int
+	col  int
+	msg  string
+}
+
+// escapeDiagnostics rebuilds the package with escape-analysis output
+// and returns the heap-allocation findings, positions resolved to
+// absolute paths. The go build cache replays compiler diagnostics, so
+// warm runs cost a cache probe, not a compile.
+func escapeDiagnostics(pass *Pass) ([]escapeDiag, error) {
+	args := []string{"build", "-gcflags=-m=1"}
+	if pass.Pkg != nil && pass.Pkg.Name() == "main" {
+		args = append(args, "-o", os.DevNull)
+	}
+	args = append(args, ".")
+	cmd := exec.Command("go", args...)
+	cmd.Dir = pass.Dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("noalloc: go build -gcflags=-m in %s: %v\n%s", pass.Dir, err, stderr.String())
+	}
+	var out []escapeDiag
+	for _, line := range strings.Split(stderr.String(), "\n") {
+		m := escapeRE.FindStringSubmatch(strings.TrimSpace(line))
+		if m == nil {
+			continue
+		}
+		msg := m[4]
+		if !strings.HasSuffix(msg, "escapes to heap") && !strings.HasPrefix(msg, "moved to heap:") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(pass.Dir, file)
+		}
+		ln, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		out = append(out, escapeDiag{file: filepath.Clean(file), line: ln, col: col, msg: msg})
+	}
+	return out, nil
+}

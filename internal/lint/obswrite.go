@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strconv"
+)
+
+// ObswriteAnalyzer enforces telemetry non-interference (DESIGN.md §11)
+// structurally, in both directions:
+//
+//  1. internal/obs must not import any package of this module —
+//     telemetry observes training, never participates in it, so the
+//     dependency arrow points one way only;
+//  2. everywhere else, calls into internal/obs APIs may pass only
+//     values: an argument whose type carries a reference (pointer,
+//     slice, map, channel, function, or a struct/array transitively
+//     containing one) would hand the telemetry layer a window into
+//     live model or optimizer state that a future "harmless" obs
+//     change could read mid-step — or worse, write. Types declared by
+//     obs itself (Buckets, Region, ...) are exempt: they are the
+//     layer's own currency. Output sinks — any type implementing
+//     io.Writer, like the *os.File behind TraceTo or the
+//     http.ResponseWriter behind WritePrometheus — are also exempt:
+//     exposition APIs exist to write telemetry out, and a sink gives
+//     obs no path back into training state.
+var ObswriteAnalyzer = &Analyzer{
+	Name: "obswrite",
+	Doc:  "enforces the obs one-way dependency rule and value-only obs call arguments",
+	Run:  runObswrite,
+}
+
+func runObswrite(pass *Pass) error {
+	if !ModulePackage(pass.Path) {
+		return nil
+	}
+	if pass.Path == obsPath {
+		for _, f := range pass.Files {
+			for _, imp := range f.Imports {
+				path, err := strconv.Unquote(imp.Path.Value)
+				if err != nil {
+					continue
+				}
+				if ModulePackage(path) {
+					pass.Reportf(imp.Pos(),
+						"internal/obs imports %s: telemetry must not depend on training packages (non-interference, DESIGN.md §11)", path)
+				}
+			}
+		}
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			callee := obsCallee(pass, call)
+			if callee == "" {
+				return true
+			}
+			for _, arg := range call.Args {
+				t := pass.TypeOf(arg)
+				if t == nil || isWriterSink(t) {
+					continue
+				}
+				if ref := refComponent(t, map[types.Type]bool{}); ref != "" {
+					pass.Reportf(arg.Pos(),
+						"%s argument to obs.%s aliases mutable state (%s); pass a value — telemetry reads copies, never pointers into the model (DESIGN.md §11)",
+						t.String(), callee, ref)
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// obsCallee returns the obs function/method name when call targets
+// internal/obs, else "".
+func obsCallee(pass *Pass, call *ast.CallExpr) string {
+	if pass.Info == nil {
+		return ""
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	obj := pass.Info.ObjectOf(sel.Sel)
+	fn, ok := obj.(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != obsPath {
+		return ""
+	}
+	return fn.Name()
+}
+
+// refComponent returns a description of the first reference-carrying
+// component of t, or "" when t is pure value data. Named types from
+// the obs package itself are exempt.
+func refComponent(t types.Type, seen map[types.Type]bool) string {
+	if seen[t] {
+		return ""
+	}
+	seen[t] = true
+	if named, ok := t.(*types.Named); ok {
+		if pkg := named.Obj().Pkg(); pkg != nil && pkg.Path() == obsPath {
+			return ""
+		}
+	}
+	switch u := t.Underlying().(type) {
+	case *types.Basic:
+		if u.Kind() == types.UnsafePointer {
+			return "unsafe.Pointer"
+		}
+		return ""
+	case *types.Pointer:
+		return "pointer " + u.String()
+	case *types.Slice:
+		return "slice " + u.String()
+	case *types.Map:
+		return "map " + u.String()
+	case *types.Chan:
+		return "channel " + u.String()
+	case *types.Signature:
+		return "function value"
+	case *types.Interface:
+		if isErrorType(t) {
+			return ""
+		}
+		return "interface " + t.String() + " (cannot prove value semantics)"
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if ref := refComponent(u.Field(i).Type(), seen); ref != "" {
+				return "field " + u.Field(i).Name() + ": " + ref
+			}
+		}
+		return ""
+	case *types.Array:
+		return refComponent(u.Elem(), seen)
+	}
+	return ""
+}
+
+// writerIface is io.Writer, constructed without importing io so the
+// check works on any type-checked universe: Write(p []byte) (n int,
+// err error).
+var writerIface = types.NewInterfaceType([]*types.Func{
+	types.NewFunc(0, nil, "Write", types.NewSignatureType(nil, nil, nil,
+		types.NewTuple(types.NewVar(0, nil, "p", types.NewSlice(types.Typ[types.Byte]))),
+		types.NewTuple(
+			types.NewVar(0, nil, "n", types.Typ[types.Int]),
+			types.NewVar(0, nil, "err", types.Universe.Lookup("error").Type()),
+		), false)),
+}, nil).Complete()
+
+// isWriterSink reports whether t (or *t) implements io.Writer — an
+// output sink for exposition APIs, not a window into training state.
+func isWriterSink(t types.Type) bool {
+	return types.Implements(t, writerIface) || types.Implements(types.NewPointer(t), writerIface)
+}
+
+// isErrorType reports whether t is the built-in error interface —
+// error values into obs (e.g. failure-labelled counters) are accepted:
+// obs formats them to strings immediately.
+func isErrorType(t types.Type) bool {
+	return types.Identical(t, types.Universe.Lookup("error").Type())
+}

@@ -1,0 +1,66 @@
+// Fixture for the detmap analyzer, type-checked as repro/internal/core
+// so the deterministic-package scope applies.
+package detmap
+
+// collect is the historical violation shape (the pre-PR2 checkpoint
+// serializer): collecting map values in iteration order, so the result
+// depends on Go's randomized map walk.
+func collect(m map[string]float64) []float64 {
+	out := make([]float64, 0, len(m))
+	for _, v := range m { // want "range over map map\[string\]float64 is iteration-order-dependent"
+		out = append(out, v)
+	}
+	return out
+}
+
+// double is whitelisted: a write into a map indexed by the range key
+// itself with a pure value — distinct source keys hit distinct
+// destination keys, so writes commute.
+func double(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v * 2
+	}
+	return out
+}
+
+// count is whitelisted: integer counting is associative and
+// commutative.
+func count(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// drain is whitelisted: delete keyed by the range key.
+func drain(m map[string]int) {
+	for k := range m {
+		delete(m, k)
+	}
+}
+
+// impureValue is not whitelisted: the written value calls a function,
+// which the conservative purity check refuses to reason about.
+func impureValue(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m { // want "range over map"
+		out[k] = next(v)
+	}
+	return out
+}
+
+func next(v int) int { return v + 1 }
+
+// annotated shows the exemption grammar: the allow on the preceding
+// line suppresses the finding and is consumed (an unused allow is
+// itself a diagnostic).
+func annotated(m map[string]int) []string {
+	out := make([]string, 0, len(m))
+	//fda:allow(detmap, fixture: caller sorts the keys before use)
+	for k := range m {
+		out = append(out, k)
+	}
+	return out
+}

@@ -1,0 +1,44 @@
+// Fixture for the noalloc analyzer: annotated functions are rebuilt
+// with -gcflags=-m and any escape-analysis allocation inside them is a
+// finding.
+package noalloc
+
+var sink *int
+
+// leak is the historical shape: a "harmless" refactor makes a local
+// escape, and the zero-alloc contract breaks silently until a
+// testing.AllocsPerRun assertion happens to drive the path.
+//
+//fda:noalloc
+func leak(n int) {
+	x := n + 1 // want "heap allocation in //fda:noalloc function leak: moved to heap: x"
+	sink = &x
+}
+
+// clean keeps the promise: index loops over caller-owned slices
+// allocate nothing.
+//
+//fda:noalloc
+func clean(v []float64) float64 {
+	s := 0.0
+	for i := range v {
+		s = s + v[i]
+	}
+	return s
+}
+
+// guarded shows the panic-path exemption: escape analysis is
+// flow-insensitive, so abort-only boxing carries an explicit allow.
+//
+//fda:noalloc
+func guarded(ok bool) {
+	if !ok {
+		panic("noalloc fixture: guard tripped") //fda:allow(noalloc, string boxing on the abort path only)
+	}
+}
+
+// unannotated makes no promise; its escape is not a finding.
+func unannotated() *int {
+	y := 2
+	return &y
+}

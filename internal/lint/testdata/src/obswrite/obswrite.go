@@ -1,0 +1,44 @@
+// Fixture for the obswrite analyzer's direction-2 rule, type-checked
+// as repro/internal/core: calls into internal/obs pass values only.
+package obswrite
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// Model stands in for live training state.
+type Model struct {
+	Weights []float64
+	Step    int
+}
+
+// leakSlice is the historical violation shape: handing the tracer a
+// live gradient slice that a future obs change could read mid-step.
+func leakSlice(grad []float64) {
+	obs.Instant("grad", "train", grad) // want "\[\]float64 argument to obs\.Instant aliases mutable state \(slice \[\]float64\)"
+}
+
+// leakPointer hands obs a pointer into model state.
+func leakPointer(m *Model) {
+	obs.Instant("model", "train", m) // want "argument to obs\.Instant aliases mutable state \(pointer"
+}
+
+// leakStructField: a struct argument is traversed transitively — the
+// embedded slice is the reference.
+func leakStructField(m Model) {
+	obs.Instant("model", "train", m) // want "aliases mutable state \(field Weights: slice \[\]float64\)"
+}
+
+// values is legal: scalars and strings are copies.
+func values(grad []float64, m Model) {
+	obs.Instant("grad", "train", len(grad), grad[0], m.Step)
+}
+
+// sink is legal: io.Writer arguments are output sinks (the *os.File
+// behind TraceTo, the http.ResponseWriter behind WritePrometheus); a
+// sink gives obs no path back into training state.
+func sink(w io.Writer) error {
+	return obs.TraceTo(w)
+}

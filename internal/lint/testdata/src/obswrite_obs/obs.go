@@ -1,0 +1,8 @@
+// Fixture for the obswrite analyzer's direction-1 rule, type-checked
+// as repro/internal/obs: the telemetry package must not import
+// training packages.
+package obs
+
+import "repro/internal/core" // want "internal/obs imports repro/internal/core: telemetry must not depend on training packages"
+
+var _ core.Result

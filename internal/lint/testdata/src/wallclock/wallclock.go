@@ -1,0 +1,37 @@
+// Fixture for the wallclock analyzer, type-checked as
+// repro/internal/core so the internal-package scope applies.
+package wallclock
+
+import (
+	"math/rand" // want "import of math/rand: deterministic code must draw randomness from tensor.RNG"
+	"time"
+)
+
+// stamp is the historical violation shape (pre-telemetry step
+// records): stamping events with the ambient clock.
+func stamp() int64 {
+	return time.Now().UnixNano() // want "time\.Now reads the ambient clock"
+}
+
+func nap(d time.Duration) {
+	time.Sleep(d) // want "time\.Sleep reads the ambient clock"
+}
+
+func delay() <-chan time.Time {
+	return time.After(time.Second) // want "time\.After reads the ambient clock"
+}
+
+// jitter only exercises the import finding: the global math/rand
+// stream is flagged at the import site, once.
+func jitter() float64 {
+	return rand.Float64()
+}
+
+// tick is legal: duration and constant arithmetic reads no clock.
+const tick = 3 * time.Second
+
+// epoch shows the annotated-edge exemption (runstore timestamps, the
+// obs trace epoch and comm/tcp socket timing carry the same grammar).
+//
+//fda:allow(wallclock, fixture: legitimate edge keeps its wall clock)
+var epoch = time.Now().UnixNano()

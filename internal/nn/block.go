@@ -45,6 +45,7 @@ func (l *AvgPool2D) Forward(x []float64, _ bool) []float64 {
 				var s float64
 				for di := 0; di < l.size; di++ {
 					for dj := 0; dj < l.size; dj++ {
+						//fda:allow(floatsum, fixed-order size×size pooling window over strided taps; not a contiguous vector reduction a kernel could replace)
 						s += xin[(i*l.size+di)*w+j*l.size+dj]
 					}
 				}

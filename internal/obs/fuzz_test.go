@@ -1,0 +1,21 @@
+package obs
+
+import "testing"
+
+// FuzzValidatePrometheusText drives the exposition-format validator
+// with arbitrary text. The validator fronts the /metrics CI smoke and
+// parses attacker-adjacent input (anything a scrape returns), so it
+// must classify — never panic on — malformed comments, samples, label
+// syntax or histogram series.
+func FuzzValidatePrometheusText(f *testing.F) {
+	f.Add("# HELP fda_steps_total steps\n# TYPE fda_steps_total counter\nfda_steps_total 4\n")
+	f.Add("# TYPE lat histogram\nlat_bucket{le=\"0.1\"} 1\nlat_bucket{le=\"+Inf\"} 2\nlat_count 2\nlat_sum 0.3\n")
+	f.Add("metric{label=\"v\"} 1.5e-9\n")
+	f.Add("# TYPE x bogus\n")
+	f.Add("x{le=}")
+	f.Add("\xff\xfe not utf8 {")
+
+	f.Fuzz(func(t *testing.T, text string) {
+		_ = ValidatePrometheusText(text)
+	})
+}

@@ -69,6 +69,8 @@ type Counter struct {
 }
 
 // Add increments the counter by n (dropped while telemetry is off).
+//
+//fda:noalloc
 func (c *Counter) Add(n int64) {
 	if enabled.Load() {
 		c.v.Add(n)
@@ -88,6 +90,8 @@ type Gauge struct {
 }
 
 // Set records the gauge's current value (dropped while telemetry is off).
+//
+//fda:noalloc
 func (g *Gauge) Set(v float64) {
 	if enabled.Load() {
 		g.v.Store(math.Float64bits(v))
@@ -119,6 +123,8 @@ type Histogram struct {
 
 // Observe records one raw-unit observation (dropped while telemetry is
 // off). It is safe for concurrent use and never allocates.
+//
+//fda:noalloc
 func (h *Histogram) Observe(v int64) {
 	if !enabled.Load() {
 		return
@@ -139,6 +145,8 @@ func (h *Histogram) observe(v int64) {
 // Since records the elapsed nanoseconds from a start stamp obtained via
 // obs.Clock. A zero start means telemetry was off at the start of the
 // section; the observation is dropped so intervals never mix clocks.
+//
+//fda:noalloc
 func (h *Histogram) Since(start int64) {
 	if start == 0 || !enabled.Load() {
 		return

@@ -33,6 +33,8 @@ func On() bool { return enabled.Load() }
 
 // epoch anchors Clock: readings are monotonic nanoseconds since process
 // start (time.Since reads the monotonic clock).
+//
+//fda:allow(wallclock, the trace epoch: telemetry timestamps are a side channel and never feed training math)
 var epoch = time.Now()
 
 // Clock returns the current monotonic time in nanoseconds when
@@ -46,9 +48,12 @@ func Clock() int64 {
 	if !enabled.Load() {
 		return 0
 	}
+	//fda:allow(wallclock, monotonic span timestamps are telemetry-only; parity-pinned to not affect results)
 	return int64(time.Since(epoch))
 }
 
 // clockNow is Clock without the gate, for paths (the tracer) that are
 // active regardless of the metrics switch.
+//
+//fda:allow(wallclock, monotonic span timestamps are telemetry-only; parity-pinned to not affect results)
 func clockNow() int64 { return int64(time.Since(epoch)) }

@@ -105,6 +105,8 @@ type Region struct {
 // StartRegion opens a span; end it with End or EndArgs. cat groups
 // spans into Perfetto categories ("session", "fabric", "runstore",
 // "http").
+//
+//fda:noalloc
 func StartRegion(name, cat string) Region {
 	t := active.Load()
 	if t == nil {
@@ -116,6 +118,8 @@ func StartRegion(name, cat string) Region {
 // StartRegionEvery is StartRegion under the sampling stride: the span
 // is recorded only when seq is a multiple of SetSampleEvery's n. Use
 // for per-step-frequency spans where full traces would dominate.
+//
+//fda:noalloc
 func StartRegionEvery(name, cat string, seq int64) Region {
 	t := active.Load()
 	if t == nil {
@@ -129,9 +133,13 @@ func StartRegionEvery(name, cat string, seq int64) Region {
 
 // Active reports whether the region will be written — callers can skip
 // building expensive args when it won't.
+//
+//fda:noalloc
 func (r Region) Active() bool { return r.t != nil }
 
 // End closes the span with no args.
+//
+//fda:noalloc
 func (r Region) End() {
 	if r.t == nil {
 		return

@@ -76,7 +76,8 @@ func (s *Store) PutSnapshot(p PrefixSpec, steps int, guard float64, blob []byte)
 		Guard:           guard,
 		Bytes:           int64(len(blob)),
 		CRC64:           fmt.Sprintf("%016x", crc64.Checksum(blob, crcTable)),
-		CreatedUnix:     time.Now().Unix(),
+		//fda:allow(wallclock, snapshot provenance timestamp; excluded from the content address and restore path)
+		CreatedUnix: time.Now().Unix(),
 	}
 	mb, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {
@@ -275,6 +276,7 @@ func (s *Store) Snapshots() ([]SnapshotManifest, error) {
 // Snapshots are pure accelerators — deleting one can never change a
 // result, only cost a warm start — so age-based expiry is always safe.
 func (s *Store) SweepSnapshots(maxAge time.Duration) int {
+	//fda:allow(wallclock, snapshot-GC age cutoff; snapshots are pure accelerators so expiry cannot change results)
 	cutoff := time.Now().Add(-maxAge).Unix()
 	n := 0
 	s.eachSnapshotDir(func(dir string) bool {

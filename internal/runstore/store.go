@@ -83,6 +83,7 @@ func (s *Store) sweepStaging(maxAge time.Duration) int {
 	if err != nil {
 		return 0
 	}
+	//fda:allow(wallclock, staging-GC age cutoff; affects only orphaned tmp files, never run contents)
 	cutoff := time.Now().Add(-maxAge)
 	n := 0
 	for _, e := range entries {
@@ -234,7 +235,8 @@ func (s *Store) Put(spec Spec, records []json.RawMessage) (err error) {
 		Records:         len(records),
 		Bytes:           int64(rb.Len()),
 		CRC64:           fmt.Sprintf("%016x", crc64.Checksum(rb.Bytes(), crcTable)),
-		CreatedUnix:     time.Now().Unix(),
+		//fda:allow(wallclock, manifest provenance timestamp; excluded from the content address and record bytes)
+		CreatedUnix: time.Now().Unix(),
 	}
 	mb, err := json.MarshalIndent(m, "", "  ")
 	if err != nil {

@@ -13,6 +13,8 @@ package tensor
 // dotUnrolled is the shared body of Dot: a 4-way unrolled product loop
 // feeding one accumulator strictly left to right. The :i+4 capacity hints
 // let the compiler drop bounds checks in the unrolled body.
+//
+//fda:noalloc
 func dotUnrolled(a, b []float64) float64 {
 	var s float64
 	n := len(a)
@@ -34,6 +36,8 @@ func dotUnrolled(a, b []float64) float64 {
 // axpyUnrolled is the shared body of AXPY: y += alpha*x, 4-way unrolled.
 // Elements are independent, so unrolling only removes loop overhead and
 // cannot change any result bit.
+//
+//fda:noalloc
 func axpyUnrolled(alpha float64, x, y []float64) {
 	n := len(y)
 	i := 0
@@ -55,6 +59,8 @@ func axpyUnrolled(alpha float64, x, y []float64) {
 // ‖u‖² into one sweep. The sum accumulates left to right, so the result
 // equals SquaredNorm(dst) after Sub(dst, a, b) bit for bit. dst may alias
 // a or b.
+//
+//fda:noalloc
 func SubThenSquaredNorm(dst, a, b []float64) float64 {
 	checkLen("SubThenSquaredNorm", a, b)
 	checkLen("SubThenSquaredNorm", dst, a)
@@ -88,6 +94,8 @@ func SubThenSquaredNorm(dst, a, b []float64) float64 {
 
 // AXPYTo stores y + alpha*x into dst without touching x or y. dst may
 // alias x or y; each element is written once.
+//
+//fda:noalloc
 func AXPYTo(dst []float64, alpha float64, x, y []float64) {
 	checkLen("AXPYTo", x, y)
 	checkLen("AXPYTo", dst, x)
@@ -109,6 +117,8 @@ func AXPYTo(dst []float64, alpha float64, x, y []float64) {
 
 // ScaleAdd computes v = c*v + x in place — the momentum-velocity update
 // kernel v ← µv + g as one sweep instead of Scale followed by Add.
+//
+//fda:noalloc
 func ScaleAdd(v []float64, c float64, x []float64) {
 	checkLen("ScaleAdd", v, x)
 	n := len(v)
@@ -128,6 +138,8 @@ func ScaleAdd(v []float64, c float64, x []float64) {
 
 // Accumulate computes dst += src (an AXPY with alpha 1, without the
 // multiplication), 4-way unrolled; the col2im scatter kernel.
+//
+//fda:noalloc
 func Accumulate(dst, src []float64) {
 	checkLen("Accumulate", dst, src)
 	n := len(dst)
@@ -146,6 +158,8 @@ func Accumulate(dst, src []float64) {
 }
 
 // Sum returns the left-to-right sum of v (the conv bias-gradient kernel).
+//
+//fda:noalloc
 func Sum(v []float64) float64 {
 	var s float64
 	n := len(v)
@@ -167,6 +181,8 @@ func Sum(v []float64) float64 {
 // quad-tap convolution kernel: one load/store of y per four taps instead
 // of four. Each element's partial sums chain in argument order, so the
 // result is bit-identical to four sequential AXPY calls.
+//
+//fda:noalloc
 func AXPY4(a0, a1, a2, a3 float64, x0, x1, x2, x3, y []float64) {
 	checkLen("AXPY4", x0, y)
 	checkLen("AXPY4", x1, y)
@@ -188,6 +204,8 @@ func AXPY4(a0, a1, a2, a3 float64, x0, x1, x2, x3, y []float64) {
 // Dot4 returns the four inner products <a, x0..3> in one sweep over a —
 // the quad-tap weight-gradient kernel. Each accumulator runs strictly
 // left to right, bit-identical to four separate Dot calls.
+//
+//fda:noalloc
 func Dot4(a, x0, x1, x2, x3 []float64) (s0, s1, s2, s3 float64) {
 	checkLen("Dot4", a, x0)
 	checkLen("Dot4", a, x1)
@@ -209,6 +227,8 @@ func Dot4(a, x0, x1, x2, x3 []float64) (s0, s1, s2, s3 float64) {
 // loading each shared x element once for both destinations. Each
 // destination's partial sums chain in tap order, bit-identical to two
 // AXPY4 calls.
+//
+//fda:noalloc
 func AXPY4x2(a0, a1, a2, a3, b0, b1, b2, b3 float64, x0, x1, x2, x3, ya, yb []float64) {
 	checkLen("AXPY4x2", x0, ya)
 	checkLen("AXPY4x2", x1, ya)
@@ -236,6 +256,8 @@ func AXPY4x2(a0, a1, a2, a3, b0, b1, b2, b3 float64, x0, x1, x2, x3, ya, yb []fl
 // products of {a, b} against {x0..x3}, loading each shared x element once.
 // Every accumulator runs strictly left to right, bit-identical to eight
 // separate Dot calls.
+//
+//fda:noalloc
 func Dot4x2(a, b, x0, x1, x2, x3 []float64) (s0, s1, s2, s3, t0, t1, t2, t3 float64) {
 	checkLen("Dot4x2", a, b)
 	checkLen("Dot4x2", a, x0)

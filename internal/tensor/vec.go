@@ -13,13 +13,23 @@ type Vec = []float64
 // checkLen panics when two vectors that must be conformal are not. Length
 // mismatches here are always programming errors (model dimension is fixed
 // per run), so a panic is preferred over threading errors through hot loops.
+// The formatting lives in a separate never-inlined helper so checkLen
+// inlines into the //fda:noalloc kernels without contributing the
+// Sprintf argument boxing as escape-analysis allocation sites there.
 func checkLen(op string, a, b []float64) {
 	if len(a) != len(b) {
-		panic(fmt.Sprintf("tensor: %s length mismatch %d != %d", op, len(a), len(b)))
+		lenPanic(op, len(a), len(b))
 	}
 }
 
+//go:noinline
+func lenPanic(op string, la, lb int) {
+	panic(fmt.Sprintf("tensor: %s length mismatch %d != %d", op, la, lb))
+}
+
 // Zero sets every component of v to 0.
+//
+//fda:noalloc
 func Zero(v []float64) {
 	for i := range v {
 		v[i] = 0
@@ -27,6 +37,8 @@ func Zero(v []float64) {
 }
 
 // Fill sets every component of v to c.
+//
+//fda:noalloc
 func Fill(v []float64, c float64) {
 	for i := range v {
 		v[i] = c
@@ -41,6 +53,8 @@ func Clone(v []float64) []float64 {
 }
 
 // Add stores a+b into dst. dst may alias a or b.
+//
+//fda:noalloc
 func Add(dst, a, b []float64) {
 	checkLen("Add", a, b)
 	checkLen("Add", dst, a)
@@ -50,6 +64,8 @@ func Add(dst, a, b []float64) {
 }
 
 // Sub stores a-b into dst. dst may alias a or b.
+//
+//fda:noalloc
 func Sub(dst, a, b []float64) {
 	checkLen("Sub", a, b)
 	checkLen("Sub", dst, a)
@@ -59,6 +75,8 @@ func Sub(dst, a, b []float64) {
 }
 
 // Scale multiplies v by c in place.
+//
+//fda:noalloc
 func Scale(v []float64, c float64) {
 	for i := range v {
 		v[i] *= c
@@ -68,6 +86,8 @@ func Scale(v []float64, c float64) {
 // AXPY computes y += alpha*x in place. The body is 4-way unrolled
 // (kernels.go); element updates are independent, so the result is
 // bit-identical to the scalar loop.
+//
+//fda:noalloc
 func AXPY(alpha float64, x, y []float64) {
 	checkLen("AXPY", x, y)
 	axpyUnrolled(alpha, x, y)
@@ -76,17 +96,23 @@ func AXPY(alpha float64, x, y []float64) {
 // Dot returns the inner product <a, b>, accumulated left to right (4-way
 // unrolled into a single accumulator, so the sum order — and therefore
 // every result bit — matches the scalar loop).
+//
+//fda:noalloc
 func Dot(a, b []float64) float64 {
 	checkLen("Dot", a, b)
 	return dotUnrolled(a, b)
 }
 
 // SquaredNorm returns ||v||_2^2, accumulated left to right.
+//
+//fda:noalloc
 func SquaredNorm(v []float64) float64 {
 	return dotUnrolled(v, v)
 }
 
 // Norm returns ||v||_2.
+//
+//fda:noalloc
 func Norm(v []float64) float64 {
 	return math.Sqrt(SquaredNorm(v))
 }
@@ -104,9 +130,11 @@ func Normalize(v []float64) float64 {
 
 // Mean stores the arithmetic mean of vecs into dst. It panics if vecs is
 // empty or lengths differ. dst may alias one of vecs.
+//
+//fda:noalloc
 func Mean(dst []float64, vecs ...[]float64) {
 	if len(vecs) == 0 {
-		panic("tensor: Mean of no vectors")
+		panic("tensor: Mean of no vectors") //fda:allow(noalloc, constant-string boxing on the abort path only)
 	}
 	first := vecs[0]
 	checkLen("Mean", dst, first)
@@ -119,6 +147,8 @@ func Mean(dst []float64, vecs ...[]float64) {
 
 // MaxAbs returns the largest absolute component of v, or 0 for an empty
 // vector.
+//
+//fda:noalloc
 func MaxAbs(v []float64) float64 {
 	var m float64
 	for _, x := range v {
@@ -131,9 +161,11 @@ func MaxAbs(v []float64) float64 {
 
 // ArgMax returns the index of the largest component; ties resolve to the
 // first maximum. It panics on an empty vector.
+//
+//fda:noalloc
 func ArgMax(v []float64) int {
 	if len(v) == 0 {
-		panic("tensor: ArgMax of empty vector")
+		panic("tensor: ArgMax of empty vector") //fda:allow(noalloc, constant-string boxing on the abort path only)
 	}
 	best := 0
 	for i, x := range v {
@@ -145,9 +177,11 @@ func ArgMax(v []float64) int {
 }
 
 // Clip bounds every component of v to [-c, c] in place. c must be positive.
+//
+//fda:noalloc
 func Clip(v []float64, c float64) {
 	if c <= 0 {
-		panic("tensor: Clip with non-positive bound")
+		panic("tensor: Clip with non-positive bound") //fda:allow(noalloc, constant-string boxing on the abort path only)
 	}
 	for i, x := range v {
 		if x > c {
@@ -159,6 +193,8 @@ func Clip(v []float64, c float64) {
 }
 
 // AllFinite reports whether every component is neither NaN nor Inf.
+//
+//fda:noalloc
 func AllFinite(v []float64) bool {
 	for _, x := range v {
 		if math.IsNaN(x) || math.IsInf(x, 0) {
