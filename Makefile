@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet lint fuzz test race allocs bench apicheck apigen
+.PHONY: check build fmt vet lint fuzz test race allocs bench apicheck apigen loadsmoke
 
 # check is the CI gate: formatting, static analysis (go vet plus the
 # fdavet invariant analyzers), the public-API surface diff, the full
@@ -74,18 +74,20 @@ race:
 	$(GO) test -race -timeout 45m ./...
 
 # bench runs the suite once and records a machine-readable report in
-# BENCH_PR7.json (op, ns/op, bytes, custom metrics, env metadata) so the
+# BENCH_PR9.json (op, ns/op, bytes, custom metrics, env metadata) so the
 # perf trajectory is tracked across PRs (BENCH_PR2.json holds the
 # pre-fused-kernel baseline, BENCH_PR3.json the fused-kernel one,
 # BENCH_PR5.json the transport-fabric one, BENCH_PR6.json the warm-start
-# one). The raw text still prints.
+# one, BENCH_PR7.json the telemetry one). The raw text still prints.
 # Figure/sweep benches run once (each iteration is a whole experiment);
 # the step-, kernel-, fabric- and telemetry-level benches run 100
 # iterations so the recorded hot-path numbers are steady-state rather
 # than cold-start noise. The Fabric series contrasts the in-process,
 # simulated-network and loopback-TCP AllReduce; the LocalStepSession
 # ObsOff/ObsOn pair and the Obs micro benches price the telemetry layer
-# in both states (disabled must be unmeasurable, DESIGN.md §11).
+# in both states (disabled must be unmeasurable, DESIGN.md §11). The
+# Workload series prices the load-generation machinery (DESIGN.md §13):
+# schedule expansion, trace serialization, open-loop dispatch.
 bench:
 	@$(GO) test -run '^$$' -bench '^Benchmark(Table2|Figure|Ablation|Sweep|RunWorkers)' \
 		-benchtime 1x -benchmem -timeout 0 . > bench.raw.txt \
@@ -93,6 +95,29 @@ bench:
 	@$(GO) test -run '^$$' -bench '^Benchmark(LocalStep|Kernel|Fabric|Obs)' \
 		-benchtime 100x -benchmem -timeout 0 . >> bench.raw.txt \
 		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
-	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR7.json
+	@$(GO) test -run '^$$' -bench '^BenchmarkWorkload' \
+		-benchtime 100x -benchmem -timeout 0 ./internal/workload >> bench.raw.txt \
+		|| { cat bench.raw.txt; rm -f bench.raw.txt; exit 1; }
+	@$(GO) run ./cmd/benchjson -in bench.raw.txt -out BENCH_PR9.json
 	@rm -f bench.raw.txt
-	@echo "wrote BENCH_PR7.json"
+	@echo "wrote BENCH_PR9.json"
+
+# loadsmoke is the load-path CI gate (DESIGN.md §13): boot a real
+# fdaserve with the admission cap armed, drive two seconds of Poisson
+# traffic through fdaload's default mix, and validate the report —
+# nonzero completed work, zero unexpected errors (-check exits
+# non-zero otherwise).
+loadsmoke:
+	@rm -rf .loadsmoke && mkdir -p .loadsmoke
+	@$(GO) build -o .loadsmoke/ ./cmd/fdaserve ./cmd/fdaload
+	@./.loadsmoke/fdaserve -store .loadsmoke/store -addr 127.0.0.1:18091 \
+		-max-queue 256 >.loadsmoke/server.log 2>&1 & \
+	pid=$$!; \
+	trap 'kill $$pid 2>/dev/null' EXIT; \
+	for i in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18091/v1/healthz >/dev/null 2>&1 && break; sleep 0.2; \
+	done; \
+	./.loadsmoke/fdaload -addr http://127.0.0.1:18091 -rate 40 -duration 2s \
+		-mix train=1,status=4,store=1 -steps 10 -k 1 -eval-every 10 \
+		-out .loadsmoke/report.json -check
+	@rm -rf .loadsmoke

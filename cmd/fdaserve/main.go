@@ -52,6 +52,7 @@ import (
 	"repro/internal/buildinfo"
 	"repro/internal/obs"
 	"repro/internal/runstore"
+	"repro/internal/workload"
 )
 
 func main() {
@@ -63,6 +64,8 @@ func main() {
 		warm     = flag.Bool("warmstart", true, "reuse trajectory-prefix snapshots across sweep cells sharing a trajectory (records stay bit-identical; wall clock drops)")
 		ttl      = flag.Duration("session-ttl", 7*24*time.Hour, "expire orphaned session checkpoints and prefix snapshots older than this at startup (0 disables the sweep)")
 		pprofOn  = flag.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+		maxQueue = flag.Int("max-queue", 0, "admission cap on in-flight jobs; beyond it new submissions get 503 + Retry-After (0 = unbounded)")
+		record   = flag.String("record", "", "journal every workload-relevant API request to this tracev1 file, replayable with fdaload -replay")
 		version  = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
@@ -103,6 +106,26 @@ func main() {
 	s.warm = *warm
 	s.accessLog = slog.New(slog.NewTextHandler(os.Stderr, nil))
 	s.pprof = *pprofOn
+	s.maxQueue = *maxQueue
+	if *record != "" {
+		f, err := os.Create(*record)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdaserve: opening trace: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		// Offsets are relative to recording start, so a trace replays at
+		// the original cadence regardless of when it was captured.
+		epoch := time.Now()
+		tw, err := workload.NewTraceWriter(f, "fdaserve", epoch.Unix(),
+			func() int64 { return int64(time.Since(epoch)) })
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "fdaserve: starting trace: %v\n", err)
+			os.Exit(1)
+		}
+		s.recorder = tw
+		fmt.Printf("fdaserve: recording workload trace to %s\n", *record)
+	}
 	s.recoverJournal()
 	srv := &http.Server{
 		Addr:    *addr,

@@ -26,6 +26,11 @@ var (
 		"Job wall-clock from execution start to terminal status.", obs.Seconds, "kind", "sweep")
 	jobRunTrain = obs.Default.Histogram("fdaserve_job_run_seconds",
 		"Job wall-clock from execution start to terminal status.", obs.Seconds, "kind", "train")
+	// jobsRejected counts submissions refused by the -max-queue
+	// admission cap (503 + Retry-After) — shed load, observable apart
+	// from failures.
+	jobsRejected = obs.Default.Counter("fdaserve_jobs_rejected_total",
+		"Job submissions refused by the -max-queue admission cap.")
 )
 
 func jobRunSeconds(kind string) *obs.Histogram {

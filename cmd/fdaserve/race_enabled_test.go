@@ -1,0 +1,8 @@
+//go:build race
+
+package main
+
+// raceEnabled reports that this test binary was built with -race. The
+// thousand-job load test is a throughput exercise; under race
+// instrumentation it would measure the detector, not the server.
+const raceEnabled = true

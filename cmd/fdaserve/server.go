@@ -20,6 +20,7 @@ import (
 	"repro/internal/experiments"
 	"repro/internal/obs"
 	"repro/internal/runstore"
+	"repro/internal/workload"
 )
 
 // server is the experiment service: it accepts run specs over HTTP,
@@ -49,6 +50,18 @@ type server struct {
 	accessLog *slog.Logger
 	// pprof mounts net/http/pprof under /debug/pprof/ when set.
 	pprof bool
+	// maxQueue caps in-flight (admitted, not yet terminal) jobs; above
+	// it new submissions are rejected with 503 + Retry-After instead of
+	// queuing unboundedly. 0 disables the cap.
+	maxQueue int
+	// active counts in-flight jobs for the admission cap. Incremented
+	// under s.mu at creation; decremented lock-free at the terminal
+	// transition, so admission may briefly over-refuse but never
+	// over-admits.
+	active atomic.Int64
+	// recorder, when non-nil, journals workload-relevant requests to a
+	// tracev1 file in admission order (fdaserve -record, record.go).
+	recorder *workload.TraceWriter
 	// wg tracks in-flight job goroutines for shutdown draining.
 	wg sync.WaitGroup
 	// started anchors the /v1/metrics uptime.
@@ -206,6 +219,12 @@ func (s *server) setStatus(j *job, status, errMsg string, result any) {
 	if status == statusDone && result != nil {
 		s.bytesSimulated.Add(simulatedBytes(result))
 	}
+	if status != statusRunning {
+		// Terminal transition: the job leaves the admission-cap window.
+		// setStatus runs exactly once per executed job (each execute
+		// goroutine ends in a single switch arm).
+		s.active.Add(-1)
+	}
 	if st := j.startedNs.Load(); status != statusRunning && st != 0 {
 		jobRunSeconds(j.Kind).Observe(int64(time.Since(s.started)) - st)
 	}
@@ -303,7 +322,7 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/runs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/runs/{id}/records", s.handleRecords)
 	mux.HandleFunc("GET /v1/runs/{id}/output", s.handleOutput)
-	return s.instrument(mux)
+	return s.instrument(s.record(mux))
 }
 
 // handleHealthz implements GET /v1/healthz: a JSON liveness probe (the
@@ -457,13 +476,17 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 
 	key := fmt.Sprintf("sweep|%s|%s|%d", req.Experiment, req.Scale, req.Seed)
-	j, ctx, existing := s.createJob(key, func(j *job) {
+	j, ctx, existing, err := s.createJob(key, func(j *job) {
 		j.Kind = "sweep"
 		j.Experiment = req.Experiment
 		j.Scale = req.Scale
 		j.Seed = req.Seed
 		j.stats = &experiments.SweepStats{}
 	})
+	if err != nil {
+		s.writeCapacity(w)
+		return
+	}
 	if existing {
 		writeJSON(w, http.StatusOK, j.view())
 		return
@@ -473,20 +496,47 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
+// errAtCapacity is returned by createJob when the -max-queue admission
+// cap refuses a new job; the handlers translate it into a structured
+// 503 with Retry-After (writeCapacity).
+var errAtCapacity = errors.New("server at capacity")
+
+// writeCapacity emits the admission-cap rejection: a structured JSON
+// 503 naming the cap and the in-flight count, plus a Retry-After hint
+// so well-behaved clients (and fdaload, which counts rejections as
+// shed load rather than errors) back off instead of hammering.
+func (s *server) writeCapacity(w http.ResponseWriter) {
+	w.Header().Set("Retry-After", "1")
+	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
+		"error":           fmt.Sprintf("server at capacity: %d jobs in flight (max %d); retry later", s.active.Load(), s.maxQueue),
+		"in_flight":       s.active.Load(),
+		"max_queue":       s.maxQueue,
+		"retry_after_sec": 1,
+	})
+}
+
 // createJob registers a new job under key — wired to a fresh child
 // context of baseCtx before it becomes visible to other handlers, so a
 // concurrent DELETE always finds a live cancel function — or returns
 // the existing job when a live (running/done) one already owns the key.
 // Failed and cancelled jobs give way to a retry, which re-executes only
-// the work the registry (or a session checkpoint) lacks.
-func (s *server) createJob(key string, init func(*job)) (*job, context.Context, bool) {
+// the work the registry (or a session checkpoint) lacks. With -max-queue
+// set, a submission that would push the in-flight job count past the
+// cap returns errAtCapacity instead of admitting unboundedly; dedupe
+// hits are never refused — they create no work.
+func (s *server) createJob(key string, init func(*job)) (*job, context.Context, bool, error) {
 	s.mu.Lock()
 	if j, ok := s.byKey[key]; ok {
 		st := j.view().Status
 		if st != statusFailed && st != statusCancelled && st != statusInterrupted {
 			s.mu.Unlock()
-			return j, nil, true
+			return j, nil, true, nil
 		}
+	}
+	if s.maxQueue > 0 && s.active.Load() >= int64(s.maxQueue) {
+		s.mu.Unlock()
+		jobsRejected.Inc()
+		return nil, nil, false, errAtCapacity
 	}
 	s.nextID++
 	j := &job{
@@ -504,12 +554,13 @@ func (s *server) createJob(key string, init func(*job)) (*job, context.Context, 
 	s.byID[j.ID] = j
 	s.byKey[key] = j
 	s.order = append(s.order, j.ID)
+	s.active.Add(1)
 	view := j.view()
 	s.mu.Unlock()
 	// Journal disk I/O happens outside s.mu so a slow disk cannot stall
 	// every status poll behind a submission.
 	s.journal.record(view, key)
-	return j, ctx, false
+	return j, ctx, false, nil
 }
 
 // executeSweep runs a figure sweep under ctx; the store-aware scheduler

@@ -186,11 +186,15 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	j, ctx, existing := s.createJob(req.canonicalKey(), func(j *job) {
+	j, ctx, existing, err := s.createJob(req.canonicalKey(), func(j *job) {
 		j.Kind = "train"
 		j.Experiment = req.Model + "/" + req.Strategy
 		j.Seed = req.Seed
 	})
+	if err != nil {
+		s.writeCapacity(w)
+		return
+	}
 	if existing {
 		writeJSON(w, http.StatusOK, j.view())
 		return

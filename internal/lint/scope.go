@@ -20,6 +20,7 @@ var deterministicPackages = map[string]bool{
 	modulePath + "/internal/compress":    true,
 	modulePath + "/internal/experiments": true,
 	modulePath + "/internal/dist":        true,
+	modulePath + "/internal/workload":    true,
 }
 
 // obsPath is the telemetry package, whose one-way dependency rule

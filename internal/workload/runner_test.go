@@ -1,0 +1,133 @@
+package workload
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// fakeClock advances instantly to whatever deadline the runner waits
+// for, so a multi-second schedule executes in microseconds of wall
+// time. Workers only read it; the dispatch loop is the sole advancer.
+type fakeClock struct{ t atomic.Int64 }
+
+func (c *fakeClock) Now() int64 { return c.t.Load() }
+func (c *fakeClock) WaitUntil(ns int64, stop <-chan struct{}) {
+	if ns > c.t.Load() {
+		c.t.Store(ns)
+	}
+}
+
+// scriptedTarget answers each kind with a fixed status.
+type scriptedTarget struct {
+	status  map[Kind]int
+	inCalls atomic.Int64
+}
+
+func (s *scriptedTarget) Do(req Request) Outcome {
+	s.inCalls.Add(1)
+	return Outcome{Status: s.status[req.Kind]}
+}
+
+func TestRunClassifiesOutcomes(t *testing.T) {
+	reqs := []Request{
+		{Seq: 0, Offset: 0, Kind: KindTrain},
+		{Seq: 1, Offset: 10, Kind: KindTrain},
+		{Seq: 2, Offset: 20, Kind: KindStatus},
+		{Seq: 3, Offset: 30, Kind: KindStore},
+		{Seq: 4, Offset: 40, Kind: KindRecords},
+		{Seq: 5, Offset: 50, Kind: KindCancel},
+	}
+	target := &scriptedTarget{status: map[Kind]int{
+		KindTrain:   200, // OK
+		KindStatus:  503, // rejected by the admission cap
+		KindStore:   500, // genuine error
+		KindRecords: 404, // poll race: records before done
+		KindCancel:  409, // poll race: cancel after done
+	}}
+	stats := Run(reqs, target, RunOptions{Clock: &fakeClock{}, DurationNS: 60})
+	if stats.Scheduled != 6 || stats.Issued != 6 {
+		t.Fatalf("scheduled/issued = %d/%d, want 6/6", stats.Scheduled, stats.Issued)
+	}
+	if stats.OK != 2 || stats.Rejected != 1 || stats.Errors != 1 || stats.Conflicts != 2 {
+		t.Fatalf("ok/rejected/errors/conflicts = %d/%d/%d/%d, want 2/1/1/2",
+			stats.OK, stats.Rejected, stats.Errors, stats.Conflicts)
+	}
+	byKind := map[Kind]KindStats{}
+	for _, ks := range stats.Kinds {
+		byKind[ks.Kind] = ks
+	}
+	if ks := byKind[KindTrain]; ks.OK != 2 || ks.Scheduled != 2 {
+		t.Fatalf("train stats %+v, want 2 ok of 2 scheduled", ks)
+	}
+	if ks := byKind[KindStatus]; ks.Rejected != 1 {
+		t.Fatalf("status stats %+v, want 1 rejected", ks)
+	}
+	if target.inCalls.Load() != 6 {
+		t.Fatalf("target saw %d calls, want 6", target.inCalls.Load())
+	}
+}
+
+// blockingTarget holds every request until release closes, forcing the
+// in-flight bound to bind.
+type blockingTarget struct {
+	release chan struct{}
+	peak    atomic.Int64
+	cur     atomic.Int64
+}
+
+func (b *blockingTarget) Do(req Request) Outcome {
+	n := b.cur.Add(1)
+	for {
+		p := b.peak.Load()
+		if n <= p || b.peak.CompareAndSwap(p, n) {
+			break
+		}
+	}
+	<-b.release
+	b.cur.Add(-1)
+	return Outcome{Status: 200}
+}
+
+func TestRunBoundsInFlight(t *testing.T) {
+	const n, bound = 64, 8
+	reqs := make([]Request, n)
+	for i := range reqs {
+		reqs[i] = Request{Seq: int64(i), Offset: int64(i), Kind: KindStore}
+	}
+	target := &blockingTarget{release: make(chan struct{})}
+	done := make(chan RunStats, 1)
+	go func() {
+		done <- Run(reqs, target, RunOptions{Clock: &fakeClock{}, MaxInFlight: bound})
+	}()
+	// The runner must stall at the bound; releasing lets it finish.
+	for target.cur.Load() < bound {
+	}
+	close(target.release)
+	stats := <-done
+	if target.peak.Load() > bound {
+		t.Fatalf("observed %d concurrent requests, bound is %d", target.peak.Load(), bound)
+	}
+	if stats.MaxInFlight > bound {
+		t.Fatalf("reported max in-flight %d exceeds bound %d", stats.MaxInFlight, bound)
+	}
+	if stats.OK != n {
+		t.Fatalf("ok = %d, want %d", stats.OK, n)
+	}
+	if stats.Delayed == 0 {
+		t.Fatal("expected dispatch stalls to be counted in Delayed")
+	}
+}
+
+func TestRunStopAbortsEarly(t *testing.T) {
+	reqs := make([]Request, 100)
+	for i := range reqs {
+		reqs[i] = Request{Seq: int64(i), Offset: int64(i), Kind: KindStore}
+	}
+	stop := make(chan struct{})
+	close(stop)
+	stats := Run(reqs, &scriptedTarget{status: map[Kind]int{KindStore: 200}},
+		RunOptions{Clock: &fakeClock{}, Stop: stop})
+	if stats.Issued != 0 {
+		t.Fatalf("issued %d requests after stop, want 0", stats.Issued)
+	}
+}
