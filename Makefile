@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: check build fmt vet lint fuzz test race allocs bench apicheck apigen loadsmoke
+.PHONY: check build fmt vet lint fuzz test race allocs bench apicheck apigen loadsmoke clustersmoke clusterbench
 
 # check is the CI gate: formatting, static analysis (go vet plus the
 # fdavet invariant analyzers), the public-API surface diff, the full
@@ -121,3 +121,35 @@ loadsmoke:
 		-mix train=1,status=4,store=1 -steps 10 -k 1 -eval-every 10 \
 		-out .loadsmoke/report.json -check
 	@rm -rf .loadsmoke
+
+# clustersmoke is the scale-out CI gate (DESIGN.md §14): three fdaserve
+# replicas on one shared store behind fdagate, two seconds of Poisson
+# traffic through the gateway, and the fdaload report gated on zero
+# unexpected errors with at most 25% shed load.
+clustersmoke:
+	@rm -rf .clustersmoke && mkdir -p .clustersmoke
+	@$(GO) build -o .clustersmoke/ ./cmd/fdaserve ./cmd/fdagate ./cmd/fdaload
+	@pids=""; \
+	trap 'kill $$pids 2>/dev/null' EXIT; \
+	for i in 1 2 3; do \
+		./.clustersmoke/fdaserve -store .clustersmoke/store -addr 127.0.0.1:1809$$i \
+			-name r$$i -max-queue 64 >.clustersmoke/serve$$i.log 2>&1 & \
+		pids="$$pids $$!"; \
+	done; \
+	./.clustersmoke/fdagate -addr 127.0.0.1:18090 \
+		-replicas http://127.0.0.1:18091,http://127.0.0.1:18092,http://127.0.0.1:18093 \
+		-poll 500ms >.clustersmoke/gate.log 2>&1 & \
+	pids="$$pids $$!"; \
+	for t in $$(seq 1 50); do \
+		curl -sf http://127.0.0.1:18090/v1/healthz 2>/dev/null | grep -q '"status":"ok"' && break; sleep 0.2; \
+	done; \
+	./.clustersmoke/fdaload -addr http://127.0.0.1:18090 -rate 15 -duration 2s \
+		-mix train=1,status=4,store=1 -steps 10 -k 1 -eval-every 10 \
+		-out .clustersmoke/report.json -check -max-rejected 0.25
+	@rm -rf .clustersmoke
+
+# clusterbench reproduces the committed BENCH_PR10.json: 1/2/4-replica
+# ramps through fdagate folded into one capacity report by
+# `fdagate -analyze` (see scripts/clusterbench.sh for the methodology).
+clusterbench:
+	@./scripts/clusterbench.sh BENCH_PR10.json

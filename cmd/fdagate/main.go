@@ -1,0 +1,244 @@
+// Command fdagate is the scale-out front-end for fdaserve (DESIGN.md
+// §14): it proxies the full v1 API across N replicas sharing one
+// content-addressed runstore. Train and sweep submissions are routed by
+// cache affinity — the spec's canonical dedupe key, SHA-256'd exactly
+// like the replicas themselves address it, rendezvous-hashed over the
+// replica set — so a resubmitted spec lands on the replica that already
+// owns the job no matter when or where it was first run. Everything the
+// affinity tier can't place (cold specs whose owner is quarantined,
+// draining or inside an overload window) falls back to the replica with
+// the shallowest queue, and a bounded admission gate in front means the
+// cluster degrades with 503 + Retry-After, never with timeouts.
+//
+//	# three replicas on one shared store
+//	fdaserve -store runs.d -addr :8081 -name r1 -max-queue 64 &
+//	fdaserve -store runs.d -addr :8082 -name r2 -max-queue 64 &
+//	fdaserve -store runs.d -addr :8083 -name r3 -max-queue 64 &
+//	fdagate -addr :8070 -replicas http://localhost:8081,http://localhost:8082,http://localhost:8083
+//
+//	curl -s localhost:8070/v1/cluster       # replica health/load table
+//	curl -s -X POST localhost:8070/v1/train -d '{"model":"lenet5s","strategy":"LinearFDA"}'
+//	curl -s localhost:8070/v1/runs/<id>     # id embeds the owning replica
+//
+// Job ids are namespaced "<replica-prefix>-<id>" (the prefix is derived
+// from the replica URL), so id-scoped requests route statelessly and
+// the gateway survives restarts without a job table.
+//
+// With -analyze, fdagate is instead the cluster saturation analyzer: it
+// folds per-cluster-size `fdaload -ramp` reports into one
+// benchjson-compatible capacity report (the BENCH_PR10.json series):
+//
+//	fdagate -analyze 1=ramp1.json,2=ramp2.json,4=ramp4.json:m1.json:m2.json -out capacity.json
+//
+// Each series is "N=rampreport.json" with optional colon-separated
+// replica /v1/metrics snapshots appended for queue-wait percentiles.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/buildinfo"
+	"repro/internal/cluster"
+	"repro/internal/obs"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8070", "gateway listen address")
+		replicas   = flag.String("replicas", "", "comma-separated replica base URLs (required unless -analyze)")
+		poll       = flag.Duration("poll", 1*time.Second, "replica health/load poll interval")
+		maxPending = flag.Int("max-pending", 1024, "bound on concurrently proxied submissions; beyond it the gateway answers 503 immediately")
+		analyze    = flag.String("analyze", "", "run the saturation analyzer instead of serving: comma-separated N=rampreport.json[:metrics.json...] series")
+		out        = flag.String("out", "", "-analyze: write the capacity report here (default: stdout)")
+		version    = flag.Bool("version", false, "print version information and exit")
+	)
+	flag.Parse()
+
+	if *version {
+		fmt.Println(buildinfo.String("fdagate"))
+		return
+	}
+	if *analyze != "" {
+		if err := runAnalyze(*analyze, *out); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	bases := splitList(*replicas)
+	if len(bases) == 0 {
+		fatal(errors.New("at least one -replicas base URL is required (or use -analyze)"))
+	}
+
+	// The gateway always runs with telemetry on, like fdaserve: the
+	// per-replica gauges and routing counters are its operational
+	// surface.
+	obs.Enable()
+
+	// The cluster package is inside the deterministic-lint scope, so it
+	// never touches the ambient clock; the gateway injects one (the same
+	// epoch-offset idiom as fdaload's realClock).
+	epoch := time.Now()
+	now := func() int64 { return int64(time.Since(epoch)) }
+
+	pool, err := cluster.NewPool(bases, cluster.Options{
+		Client: &http.Client{Timeout: 5 * time.Second},
+		Now:    now,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	gw := cluster.NewGateway(pool, cluster.GatewayOptions{
+		Now:        now,
+		MaxPending: *maxPending,
+		Version:    buildinfo.String("fdagate"),
+	})
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	// First poll before accepting traffic, so the initial routing acts
+	// on observed health instead of pure optimism; then the background
+	// poll loop keeps load fresh and probes quarantined replicas for
+	// rejoin.
+	pool.Poll(ctx)
+	go func() {
+		t := time.NewTicker(*poll)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				pool.Poll(ctx)
+			}
+		}
+	}()
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           gw.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+	errc := make(chan error, 1)
+	go func() { errc <- srv.ListenAndServe() }()
+	fmt.Printf("fdagate: listening on %s, %d replica(s)\n", *addr, len(bases))
+	for _, v := range pool.Views() {
+		state := "up"
+		if !v.Healthy {
+			state = "unreachable"
+		}
+		fmt.Printf("fdagate:   %s (%s) prefix=%s %s\n", v.Name, v.Base, v.Prefix, state)
+	}
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+	fmt.Fprintln(os.Stderr, "fdagate: shutting down")
+	shCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		fmt.Fprintf(os.Stderr, "fdagate: shutdown: %v\n", err)
+	}
+}
+
+// runAnalyze implements -analyze: parse the series spec, load each ramp
+// report (and optional metrics snapshots), and emit the capacity
+// report.
+func runAnalyze(spec, outPath string) error {
+	var series []cluster.CapacitySeries
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		eq := strings.SplitN(part, "=", 2)
+		if len(eq) != 2 {
+			return fmt.Errorf("bad -analyze series %q (want N=rampreport.json[:metrics.json...])", part)
+		}
+		n, err := strconv.Atoi(strings.TrimSpace(eq[0]))
+		if err != nil {
+			return fmt.Errorf("bad replica count in %q: %w", part, err)
+		}
+		paths := strings.Split(eq[1], ":")
+		s := cluster.CapacitySeries{Replicas: n}
+		if err := readJSONFile(paths[0], &s.Report); err != nil {
+			return fmt.Errorf("series %d: %w", n, err)
+		}
+		for _, mp := range paths[1:] {
+			// Accept either a bare obs.Snap or a full fdaserve
+			// /v1/metrics document with the snapshot under "telemetry".
+			var doc struct {
+				Telemetry  obs.Snap             `json:"telemetry"`
+				Histograms []obs.HistogramValue `json:"histograms"`
+			}
+			if err := readJSONFile(mp, &doc); err != nil {
+				return fmt.Errorf("series %d metrics %s: %w", n, mp, err)
+			}
+			snap := doc.Telemetry
+			if len(snap.Histograms) == 0 {
+				snap.Histograms = doc.Histograms
+			}
+			s.Snaps = append(s.Snaps, snap)
+		}
+		series = append(series, s)
+	}
+	rep, err := cluster.BuildCapacityReport(series)
+	if err != nil {
+		return err
+	}
+	b, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if outPath == "" {
+		os.Stdout.Write(b)
+	} else if err := os.WriteFile(outPath, b, 0o644); err != nil {
+		return err
+	}
+	for _, s := range rep.Series {
+		fmt.Fprintf(os.Stderr, "fdagate: %d replica(s): knee %.1f req/s, peak %.1f req/s, speedup %.2fx, %.1f%% rejected, %d errors\n",
+			s.Replicas, s.SaturationRPS, s.PeakAchievedRPS, s.Speedup, 100*s.RejectionRate, s.Errors)
+	}
+	return nil
+}
+
+func readJSONFile(path string, v any) error {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := json.Unmarshal(b, v); err != nil {
+		return fmt.Errorf("parsing %s: %w", path, err)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fdagate:", err)
+	os.Exit(1)
+}

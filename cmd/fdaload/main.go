@@ -51,7 +51,7 @@ import (
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://localhost:8080", "base URL of the fdaserve under load")
+		addr     = flag.String("addr", "http://localhost:8080", "base URL(s) of the server under load; comma-separated to spread directly across replicas (submissions round-robin, polls follow the submitting replica)")
 		specFile = flag.String("spec", "", "workload spec file (JSON); overrides the inline spec flags")
 		replay   = flag.String("replay", "", "replay a recorded tracev1 file instead of generating a schedule")
 		export   = flag.String("export", "", "write the generated schedule as a tracev1 file and exit (no server needed)")
@@ -75,11 +75,12 @@ func main() {
 		expName   = flag.String("experiment", "fig3", "sweep cohort: experiment name")
 		scale     = flag.String("scale", "tiny", "sweep cohort: experiment scale")
 
-		inflight = flag.Int("inflight", 4096, "max concurrent in-flight requests (open loop; stalls are counted, not hidden)")
-		rampFlag = flag.String("ramp", "", "comma-separated offered rates; run -duration at each and locate the saturation knee")
-		out      = flag.String("out", "", "write the JSON report here (default: stdout)")
-		check    = flag.Bool("check", false, "exit non-zero unless the run completed work (ok > 0) with zero unexpected errors")
-		version  = flag.Bool("version", false, "print version information and exit")
+		inflight    = flag.Int("inflight", 4096, "max concurrent in-flight requests (open loop; stalls are counted, not hidden)")
+		rampFlag    = flag.String("ramp", "", "comma-separated offered rates; run -duration at each and locate the saturation knee")
+		out         = flag.String("out", "", "write the JSON report here (default: stdout)")
+		check       = flag.Bool("check", false, "exit non-zero unless the run completed work (ok > 0) with zero unexpected errors")
+		maxRejected = flag.Float64("max-rejected", 1, "-check: maximum tolerated rejection rate (rejected/issued, 0..1); 1 allows any amount of shed load")
+		version     = flag.Bool("version", false, "print version information and exit")
 	)
 	flag.Parse()
 
@@ -130,17 +131,16 @@ func main() {
 			}
 			var ramp []workload.RampLevel
 			for i, r := range levels {
-				lv := spec
+				lv := rampLevelSpec(spec, i)
 				lv.Arrival.Rate = r
-				lv.Seed = spec.Seed + uint64(i) // decorrelate levels; still fully deterministic
 				reqs, err := lv.Schedule()
 				if err != nil {
 					fatal(err)
 				}
-				fmt.Fprintf(os.Stderr, "fdaload: ramp level %d/%d: %g req/s for %s (%d requests)\n",
-					i+1, len(levels), r, duration, len(reqs))
+				fmt.Fprintf(os.Stderr, "fdaload: ramp level %d/%d: %g req/s for %gs (%d requests)\n",
+					i+1, len(levels), r, lv.DurationSec, len(reqs))
 				stats := run(reqs, *addr, *inflight, int64(lv.DurationSec*1e9), stop)
-				ramp = append(ramp, workload.RampLevel{OfferedRPS: r, Stats: stats})
+				ramp = append(ramp, workload.NewRampLevel(r, stats))
 				if stoppedNow(stop) {
 					break
 				}
@@ -174,7 +174,7 @@ func main() {
 	summarize(os.Stderr, rep)
 
 	if *check {
-		if err := checkReport(rep); err != nil {
+		if err := checkReport(rep, *maxRejected); err != nil {
 			fmt.Fprintf(os.Stderr, "fdaload: check failed: %v\n", err)
 			os.Exit(1)
 		}
@@ -182,7 +182,7 @@ func main() {
 	}
 }
 
-// run executes one schedule against the server.
+// run executes one schedule against the server(s).
 func run(reqs []workload.Request, addr string, inflight int, durationNS int64, stop <-chan struct{}) workload.RunStats {
 	target := newHTTPTarget(addr)
 	return workload.Run(reqs, target, workload.RunOptions{
@@ -191,6 +191,33 @@ func run(reqs []workload.Request, addr string, inflight int, durationNS int64, s
 		Stop:        stop,
 		DurationNS:  durationNS,
 	})
+}
+
+// rampLevelSpec derives level i's spec: a fresh schedule seed AND fresh
+// cohort seed bases. The templates are deep-copied — they are shared
+// pointers inside Mix — and their seed bases shifted far apart per
+// level, so every level submits brand-new specs instead of re-hitting
+// the previous level's dedupe keys (which would measure cache lookups,
+// not admission throughput). Still a pure function of (spec, i):
+// ramp runs stay deterministic.
+func rampLevelSpec(spec workload.Spec, i int) workload.Spec {
+	lv := spec
+	lv.Seed = spec.Seed + uint64(i)
+	lv.Mix = make([]workload.MixEntry, len(spec.Mix))
+	for m, e := range spec.Mix {
+		if e.Train != nil {
+			t := *e.Train
+			t.SeedBase += uint64(i) << 32
+			e.Train = &t
+		}
+		if e.Sweep != nil {
+			sw := *e.Sweep
+			sw.SeedBase += uint64(i) << 32
+			e.Sweep = &sw
+		}
+		lv.Mix[m] = e
+	}
+	return lv
 }
 
 func stoppedNow(stop <-chan struct{}) bool {
@@ -317,13 +344,20 @@ func exportSchedule(spec workload.Spec, path string) error {
 	return f.Close()
 }
 
-// checkReport implements -check: the smoke gate used by CI.
-func checkReport(rep workload.Report) error {
+// checkReport implements -check: the smoke gate used by CI. Beyond the
+// original zero-errors/nonzero-throughput gate, maxRejected bounds the
+// rejection rate (rejected/issued) so a cluster gate can insist on
+// graceful degradation — some shed load is expected at saturation, a
+// cluster rejecting most of its traffic is not "sustaining" anything.
+func checkReport(rep workload.Report, maxRejected float64) error {
 	errs := rep.Load.Errors
 	ok := rep.Load.OK
+	rejected, issued := rep.Load.Rejected, rep.Load.Issued
 	for _, l := range rep.Ramp {
 		errs += l.Stats.Errors
 		ok += l.Stats.OK
+		rejected += l.Stats.Rejected
+		issued += l.Stats.Issued
 	}
 	// The single-run report already folds its own totals; ramp levels
 	// are distinct runs and accumulate (Load repeats the last level, so
@@ -331,12 +365,20 @@ func checkReport(rep workload.Report) error {
 	if n := len(rep.Ramp); n > 0 {
 		errs -= rep.Ramp[n-1].Stats.Errors
 		ok -= rep.Ramp[n-1].Stats.OK
+		rejected -= rep.Ramp[n-1].Stats.Rejected
+		issued -= rep.Ramp[n-1].Stats.Issued
 	}
 	if errs != 0 {
 		return fmt.Errorf("%d unexpected errors", errs)
 	}
 	if ok == 0 {
 		return fmt.Errorf("no request completed successfully (throughput is zero)")
+	}
+	if issued > 0 && maxRejected < 1 {
+		if rate := float64(rejected) / float64(issued); rate > maxRejected {
+			return fmt.Errorf("rejection rate %.3f exceeds -max-rejected %.3f (%d of %d requests shed)",
+				rate, maxRejected, rejected, issued)
+		}
 	}
 	return nil
 }
@@ -351,8 +393,8 @@ func summarize(w io.Writer, rep workload.Report) {
 	}
 	if len(rep.Ramp) > 0 {
 		for _, l := range rep.Ramp {
-			fmt.Fprintf(w, "fdaload: ramp %7.1f req/s offered -> %7.1f achieved, p99(train) %.2fms, %d rejected, %d errors\n",
-				l.OfferedRPS, l.Stats.AchievedRPS, kindP99(l.Stats, workload.KindTrain), l.Stats.Rejected, l.Stats.Errors)
+			fmt.Fprintf(w, "fdaload: ramp %7.1f req/s offered -> %7.1f achieved, p99(train) %.2fms, %d rejected (%.1f%%), %d errors\n",
+				l.OfferedRPS, l.Stats.AchievedRPS, kindP99(l.Stats, workload.KindTrain), l.Stats.Rejected, 100*l.RejectionRate, l.Stats.Errors)
 		}
 		if rep.SaturationRPS > 0 {
 			fmt.Fprintf(w, "fdaload: saturation knee at %.1f req/s offered\n", rep.SaturationRPS)
@@ -394,15 +436,22 @@ func (c *realClock) WaitUntil(ns int64, stop <-chan struct{}) {
 	}
 }
 
-// httpTarget executes requests against the fdaserve API, tracking the
-// job ids its submissions create so poll kinds have real targets.
+// httpTarget executes requests against the fdaserve (or fdagate) API,
+// tracking the job ids its submissions create so poll kinds have real
+// targets. With multiple bases (-addr a,b,c) submissions round-robin
+// across them and each id remembers its submitting base — replica job
+// ids are replica-local, so polls must follow the replica that issued
+// them (the gateway namespaces ids itself, so a single gateway base
+// needs none of this).
 type httpTarget struct {
-	base   string
+	bases  []string
 	client *http.Client
 
 	mu     sync.Mutex
-	ids    []string
+	ids    []string          // submitted job ids, in creation order
+	idBase map[string]string // id -> submitting base URL
 	cursor atomic.Uint64
+	subSeq atomic.Uint64 // round-robin over bases for submissions
 }
 
 func newHTTPTarget(base string) *httpTarget {
@@ -410,39 +459,59 @@ func newHTTPTarget(base string) *httpTarget {
 		MaxIdleConns:        1 << 14,
 		MaxIdleConnsPerHost: 1 << 14,
 	}
+	var bases []string
+	for _, b := range strings.Split(base, ",") {
+		if b = strings.TrimRight(strings.TrimSpace(b), "/"); b != "" {
+			bases = append(bases, b)
+		}
+	}
 	return &httpTarget{
-		base:   strings.TrimRight(base, "/"),
+		bases:  bases,
+		idBase: map[string]string{},
 		client: &http.Client{Transport: tr, Timeout: 5 * time.Minute},
 	}
 }
 
-// pickID returns a submitted job id round-robin, or "" when none is
-// known yet (early polls fall back to collection endpoints).
-func (t *httpTarget) pickID() string {
+// pickID returns a submitted job id round-robin with the base that owns
+// it, or "" when none is known yet (early polls fall back to collection
+// endpoints).
+func (t *httpTarget) pickID() (id, base string) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	if len(t.ids) == 0 {
-		return ""
+		return "", ""
 	}
-	return t.ids[int(t.cursor.Add(1))%len(t.ids)]
+	id = t.ids[int(t.cursor.Add(1))%len(t.ids)]
+	return id, t.idBase[id]
 }
 
-func (t *httpTarget) addID(id string) {
+func (t *httpTarget) addID(id, base string) {
 	if id == "" {
 		return
 	}
 	t.mu.Lock()
-	t.ids = append(t.ids, id)
+	if _, dup := t.idBase[id]; !dup {
+		t.ids = append(t.ids, id)
+		t.idBase[id] = base
+	}
 	t.mu.Unlock()
 }
 
+// submitBase picks the next base for a submission (round-robin).
+func (t *httpTarget) submitBase() string {
+	if len(t.bases) == 1 {
+		return t.bases[0]
+	}
+	return t.bases[int(t.subSeq.Add(1))%len(t.bases)]
+}
+
 func (t *httpTarget) Do(req workload.Request) workload.Outcome {
-	method, path := t.resolve(req)
+	method, path, base := t.resolve(req)
 	var body io.Reader
 	if method == http.MethodPost && len(req.Body) > 0 {
 		body = bytes.NewReader(req.Body)
 	}
-	hr, err := http.NewRequest(method, t.base+path, body)
+	hr, err := http.NewRequest(method, base+path, body)
 	if err != nil {
 		return workload.Outcome{Err: err}
 	}
@@ -459,7 +528,7 @@ func (t *httpTarget) Do(req workload.Request) workload.Outcome {
 			ID string `json:"id"`
 		}
 		if json.NewDecoder(io.LimitReader(resp.Body, 1<<20)).Decode(&v) == nil {
-			t.addID(v.ID)
+			t.addID(v.ID, base)
 		}
 	}
 	// Drain so the transport can reuse the connection.
@@ -467,42 +536,43 @@ func (t *httpTarget) Do(req workload.Request) workload.Outcome {
 	return workload.Outcome{Status: resp.StatusCode}
 }
 
-// resolve maps a request to its method and URL path. Recorded traces
-// carry explicit paths; generated schedules resolve poll targets
-// against the ids this client has created.
-func (t *httpTarget) resolve(req workload.Request) (method, path string) {
+// resolve maps a request to its method, URL path and base URL. Recorded
+// traces carry explicit paths; generated schedules resolve poll targets
+// against the ids this client has created, on the base that created
+// them.
+func (t *httpTarget) resolve(req workload.Request) (method, path, base string) {
 	if req.Path != "" {
 		switch req.Kind {
 		case workload.KindTrain, workload.KindSweep:
-			return http.MethodPost, req.Path
+			return http.MethodPost, req.Path, t.submitBase()
 		case workload.KindCancel:
-			return http.MethodDelete, req.Path
+			return http.MethodDelete, req.Path, t.submitBase()
 		default:
-			return http.MethodGet, req.Path
+			return http.MethodGet, req.Path, t.submitBase()
 		}
 	}
 	switch req.Kind {
 	case workload.KindTrain:
-		return http.MethodPost, "/v1/train"
+		return http.MethodPost, "/v1/train", t.submitBase()
 	case workload.KindSweep:
-		return http.MethodPost, "/v1/runs"
+		return http.MethodPost, "/v1/runs", t.submitBase()
 	case workload.KindStatus:
-		if id := t.pickID(); id != "" {
-			return http.MethodGet, "/v1/runs/" + id
+		if id, b := t.pickID(); id != "" {
+			return http.MethodGet, "/v1/runs/" + id, b
 		}
-		return http.MethodGet, "/v1/runs"
+		return http.MethodGet, "/v1/runs", t.submitBase()
 	case workload.KindRecords:
-		if id := t.pickID(); id != "" {
-			return http.MethodGet, "/v1/runs/" + id + "/records"
+		if id, b := t.pickID(); id != "" {
+			return http.MethodGet, "/v1/runs/" + id + "/records", b
 		}
-		return http.MethodGet, "/v1/store"
+		return http.MethodGet, "/v1/store", t.submitBase()
 	case workload.KindCancel:
-		if id := t.pickID(); id != "" {
-			return http.MethodDelete, "/v1/runs/" + id
+		if id, b := t.pickID(); id != "" {
+			return http.MethodDelete, "/v1/runs/" + id, b
 		}
-		return http.MethodGet, "/v1/runs"
+		return http.MethodGet, "/v1/runs", t.submitBase()
 	default:
-		return http.MethodGet, "/v1/store"
+		return http.MethodGet, "/v1/store", t.submitBase()
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/cluster"
 	"repro/internal/runstore"
 )
 
@@ -28,7 +29,7 @@ func TestTrainFailureDropsCheckpoint(t *testing.T) {
 	// Plant a stale checkpoint under the exact key the submission will
 	// compute; a negative Θ makes the strategy's Init panic, so the job
 	// fails before a single step.
-	req := trainRequest{Model: "lenet5s", Strategy: "SketchFDA", Theta: -1, K: 3, Steps: 40}
+	req := trainRequest{TrainSpec: cluster.TrainSpec{Model: "lenet5s", Strategy: "SketchFDA", Theta: -1, K: 3, Steps: 40}}
 	req.withDefaults()
 	ckpt := s.checkpointPath(req.canonicalKey())
 	if err := os.MkdirAll(filepath.Dir(ckpt), 0o755); err != nil {

@@ -31,7 +31,21 @@ var (
 	// from failures.
 	jobsRejected = obs.Default.Counter("fdaserve_jobs_rejected_total",
 		"Job submissions refused by the -max-queue admission cap.")
+	// jobsInFlight/jobsMaxQueue expose the admission window as gauges so
+	// Prometheus (and fdagate's poller) can see headroom, not just
+	// rejections after the fact. Sampled at scrape time.
+	jobsInFlight = obs.Default.Gauge("fdaserve_jobs_in_flight",
+		"Admitted jobs that have not reached a terminal status.")
+	jobsMaxQueue = obs.Default.Gauge("fdaserve_jobs_max_queue",
+		"The -max-queue admission cap (0 = unbounded).")
 )
+
+// sampleAdmissionGauges refreshes the admission gauges from the live
+// counters; both metrics endpoints call it before reading the registry.
+func (s *server) sampleAdmissionGauges() {
+	jobsInFlight.Set(float64(s.active.Load()))
+	jobsMaxQueue.Set(float64(s.maxQueue))
+}
 
 func jobRunSeconds(kind string) *obs.Histogram {
 	if kind == "train" {
@@ -138,6 +152,7 @@ func (s *server) instrument(next http.Handler) http.Handler {
 // exposition of the process-wide registry plus a fixed set of
 // runtime/metrics samples. GET /v1/metrics is its JSON twin.
 func (s *server) handlePromMetrics(w http.ResponseWriter, r *http.Request) {
+	s.sampleAdmissionGauges()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	if err := obs.Default.WritePrometheus(w); err != nil {
 		return // client went away; nothing to salvage

@@ -6,16 +6,19 @@ import (
 	"errors"
 	"fmt"
 	"log/slog"
+	"math"
 	"net/http"
 	"net/http/pprof"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 
 	"repro/internal/buildinfo"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/obs"
@@ -50,10 +53,18 @@ type server struct {
 	accessLog *slog.Logger
 	// pprof mounts net/http/pprof under /debug/pprof/ when set.
 	pprof bool
+	// name is the replica identity (-name) reported on /v1/metrics and
+	// /v1/healthz so a gateway operator can tell replicas apart.
+	name string
 	// maxQueue caps in-flight (admitted, not yet terminal) jobs; above
 	// it new submissions are rejected with 503 + Retry-After instead of
 	// queuing unboundedly. 0 disables the cap.
 	maxQueue int
+	// draining, when set (POST /v1/drain), refuses new submissions with
+	// 503 while in-flight jobs run to completion — the graceful way to
+	// take a replica out of a gateway rotation. DELETE /v1/drain
+	// re-admits.
+	draining atomic.Bool
 	// active counts in-flight jobs for the admission cap. Incremented
 	// under s.mu at creation; decremented lock-free at the terminal
 	// transition, so admission may briefly over-refuse but never
@@ -278,8 +289,10 @@ func simulatedBytes(result any) int64 {
 //	GET    /healthz                 liveness (bare text)
 //	GET    /metrics                 Prometheus text exposition
 //	GET    /v1/healthz              liveness (JSON)
-//	GET    /v1/metrics              job counts, simulated bytes, uptime, telemetry snapshot
+//	GET    /v1/metrics              job counts, admission headroom, telemetry snapshot
 //	GET    /v1/version              build information
+//	POST   /v1/drain                stop admitting new jobs (for gateway rotation)
+//	DELETE /v1/drain                resume admitting
 //	GET    /v1/experiments          registered runners
 //	GET    /v1/store                cached-run manifests
 //	GET    /v1/runs                 submitted jobs
@@ -312,6 +325,8 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("GET /v1/version", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, map[string]string{"version": buildinfo.String("fdaserve")})
 	})
+	mux.HandleFunc("POST /v1/drain", s.handleDrain)
+	mux.HandleFunc("DELETE /v1/drain", s.handleDrain)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
 	mux.HandleFunc("GET /v1/store", s.handleStore)
 	mux.HandleFunc("GET /v1/runs", s.handleListRuns)
@@ -329,14 +344,22 @@ func (s *server) routes() http.Handler {
 // bare-text /healthz is kept for load balancers that predate the v1
 // surface).
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	status := "ok"
+	if s.draining.Load() {
+		status = "draining"
+	}
 	writeJSON(w, http.StatusOK, map[string]string{
-		"status":  "ok",
+		"status":  status,
+		"replica": s.name,
 		"version": buildinfo.String("fdaserve"),
 	})
 }
 
 // metricsView is the GET /v1/metrics payload.
 type metricsView struct {
+	// Replica is the -name identity; the gateway's load tracker adopts
+	// it as the replica's display name.
+	Replica   string  `json:"replica,omitempty"`
 	UptimeSec float64 `json:"uptime_sec"`
 	Jobs      struct {
 		Queued    int `json:"queued"`
@@ -349,6 +372,13 @@ type metricsView struct {
 		Interrupted int `json:"interrupted"`
 		Total       int `json:"total"`
 	} `json:"jobs"`
+	// Admission is the -max-queue cap's live state — the headroom
+	// signal fdagate's least-loaded router polls.
+	Admission struct {
+		InFlight int64 `json:"in_flight"`
+		MaxQueue int64 `json:"max_queue"`
+		Draining bool  `json:"draining"`
+	} `json:"admission"`
 	// BytesSimulated totals the communication accounting of every job
 	// finished since the server started (training results and sweep
 	// records).
@@ -403,6 +433,11 @@ func (s *server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		m.StepsSaved += v.StepsSaved
 	}
 	s.mu.Unlock()
+	m.Replica = s.name
+	m.Admission.InFlight = s.active.Load()
+	m.Admission.MaxQueue = int64(s.maxQueue)
+	m.Admission.Draining = s.draining.Load()
+	s.sampleAdmissionGauges()
 	m.BytesSimulated = s.bytesSimulated.Load()
 	m.StoreRuns = s.store.Count()
 	m.StoreSnapshots = s.store.SnapshotCount()
@@ -445,11 +480,11 @@ func (s *server) handleListRuns(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, views)
 }
 
-// submitRequest is the POST /v1/runs body.
+// submitRequest is the POST /v1/runs body. Like trainRequest, the spec
+// fields and canonical key live in cluster.SweepSpec so fdagate's
+// affinity routing and this server's dedupe cannot drift apart.
 type submitRequest struct {
-	Experiment string `json:"experiment"`
-	Scale      string `json:"scale"`
-	Seed       uint64 `json:"seed"`
+	cluster.SweepSpec
 }
 
 func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
@@ -458,12 +493,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
 		return
 	}
-	if req.Scale == "" {
-		req.Scale = "quick"
-	}
-	if req.Seed == 0 {
-		req.Seed = 1
-	}
+	req.ApplyDefaults()
 	if _, ok := experiments.Lookup(req.Experiment); !ok {
 		writeError(w, http.StatusBadRequest,
 			fmt.Sprintf("unknown experiment %q (have %s)", req.Experiment, strings.Join(experiments.Names(), ", ")))
@@ -475,7 +505,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	key := fmt.Sprintf("sweep|%s|%s|%d", req.Experiment, req.Scale, req.Seed)
+	key := req.Key()
 	j, ctx, existing, err := s.createJob(key, func(j *job) {
 		j.Kind = "sweep"
 		j.Experiment = req.Experiment
@@ -484,7 +514,7 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		j.stats = &experiments.SweepStats{}
 	})
 	if err != nil {
-		s.writeCapacity(w)
+		s.writeUnavailable(w, err)
 		return
 	}
 	if existing {
@@ -496,22 +526,71 @@ func (s *server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, j.view())
 }
 
-// errAtCapacity is returned by createJob when the -max-queue admission
-// cap refuses a new job; the handlers translate it into a structured
-// 503 with Retry-After (writeCapacity).
-var errAtCapacity = errors.New("server at capacity")
+// errAtCapacity/errDraining are returned by createJob when a new job is
+// refused — by the -max-queue admission cap, or because the replica is
+// draining; the handlers translate either into a structured 503 with
+// Retry-After (writeUnavailable).
+var (
+	errAtCapacity = errors.New("server at capacity")
+	errDraining   = errors.New("server draining")
+)
 
-// writeCapacity emits the admission-cap rejection: a structured JSON
-// 503 naming the cap and the in-flight count, plus a Retry-After hint
-// so well-behaved clients (and fdaload, which counts rejections as
-// shed load rather than errors) back off instead of hammering.
-func (s *server) writeCapacity(w http.ResponseWriter) {
-	w.Header().Set("Retry-After", "1")
+// retryAfterSec derives the Retry-After hint from measured state
+// instead of a hard-coded second: the median job run time spread across
+// the cap's slots approximates how long until one frees (cap jobs
+// complete at roughly cap/p50 per second), scaled by how deep the
+// in-flight window currently is relative to the cap. Clamped to
+// [1, 30]; 1 before any job has completed (no measurement yet).
+func (s *server) retryAfterSec() int {
+	if s.maxQueue <= 0 {
+		return 1
+	}
+	p50 := jobRunTrain.Quantile(0.5)
+	if v := jobRunSweep.Quantile(0.5); v > p50 {
+		p50 = v
+	}
+	capf := float64(s.maxQueue)
+	sec := math.Ceil(p50 / capf * float64(s.active.Load()) / capf)
+	if sec < 1 {
+		return 1
+	}
+	if sec > 30 {
+		return 30
+	}
+	return int(sec)
+}
+
+// writeUnavailable emits the 503 for a refused submission: a structured
+// JSON body naming the reason, plus a Retry-After hint derived from
+// measured job durations so well-behaved clients (and fdaload, which
+// counts rejections as shed load rather than errors) back off
+// proportionally instead of hammering.
+func (s *server) writeUnavailable(w http.ResponseWriter, cause error) {
+	retry := s.retryAfterSec()
+	msg := fmt.Sprintf("server at capacity: %d jobs in flight (max %d); retry later", s.active.Load(), s.maxQueue)
+	if errors.Is(cause, errDraining) {
+		msg = "server draining: not accepting new jobs"
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retry))
 	writeJSON(w, http.StatusServiceUnavailable, map[string]any{
-		"error":           fmt.Sprintf("server at capacity: %d jobs in flight (max %d); retry later", s.active.Load(), s.maxQueue),
+		"error":           msg,
 		"in_flight":       s.active.Load(),
 		"max_queue":       s.maxQueue,
-		"retry_after_sec": 1,
+		"draining":        s.draining.Load(),
+		"retry_after_sec": retry,
+	})
+}
+
+// handleDrain implements POST /v1/drain (stop admitting, keep serving
+// reads and in-flight jobs) and DELETE /v1/drain (re-admit). Draining
+// is how an operator or orchestrator takes a replica out of a fdagate
+// rotation without killing in-flight work: the gateway's poller sees
+// admission.draining and routes new submissions elsewhere.
+func (s *server) handleDrain(w http.ResponseWriter, r *http.Request) {
+	s.draining.Store(r.Method == http.MethodPost)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"draining":  s.draining.Load(),
+		"in_flight": s.active.Load(),
 	})
 }
 
@@ -532,6 +611,11 @@ func (s *server) createJob(key string, init func(*job)) (*job, context.Context, 
 			s.mu.Unlock()
 			return j, nil, true, nil
 		}
+	}
+	if s.draining.Load() {
+		s.mu.Unlock()
+		jobsRejected.Inc()
+		return nil, nil, false, errDraining
 	}
 	if s.maxQueue > 0 && s.active.Load() >= int64(s.maxQueue) {
 		s.mu.Unlock()

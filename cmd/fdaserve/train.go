@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/cluster"
 	"repro/internal/comm"
 	"repro/internal/core"
 	"repro/internal/data"
@@ -29,75 +30,20 @@ import (
 // bit-identically to a run that was never interrupted (the session
 // resume contract, pinned by TestTrainCancelResumeExact).
 
-// trainRequest is the POST /v1/train body.
+// trainRequest is the POST /v1/train body. The spec fields, their
+// defaults and the canonical dedupe key all live in cluster.TrainSpec,
+// so the fdagate affinity router and this server's dedupe compute the
+// same key from one definition — a divergence would break cache-hit
+// routing, and sharing the type makes it a compile error instead.
 type trainRequest struct {
-	// Model is a zoo model name (lenet5s, vgg16s, ...). Required.
-	Model string `json:"model"`
-	// Strategy is the synchronization policy. Required.
-	Strategy string `json:"strategy"`
-	// Theta is the variance threshold for the FDA variants; 0 selects
-	// the model's default grid entry.
-	Theta float64 `json:"theta"`
-	// Tau is the round length for LocalSGD (default 10).
-	Tau int `json:"tau"`
-	// K, Batch, Steps, EvalEvery, Target, Het and Seed mirror the
-	// fdarun flags; zero values take the documented defaults.
-	K         int     `json:"k"`
-	Batch     int     `json:"batch"`
-	Steps     int     `json:"steps"`
-	EvalEvery int     `json:"eval_every"`
-	Target    float64 `json:"target"`
-	Het       string  `json:"het"`
-	Seed      uint64  `json:"seed"`
-	// Distributed runs the session as a genuinely multi-process cluster:
-	// the server becomes the TCP-fabric coordinator (it must have been
-	// started with -fabric) and waits for K `fdarun -worker -connect`
-	// processes to join before training begins. Checkpoint resume does
-	// not apply — worker state lives in the worker processes.
-	Distributed bool `json:"distributed"`
+	cluster.TrainSpec
 }
 
-func (t *trainRequest) withDefaults() {
-	if t.Theta == 0 {
-		if spec, err := models.ByName(t.Model); err == nil && len(spec.ThetaGrid) > 1 {
-			t.Theta = spec.ThetaGrid[1]
-		}
-	}
-	if t.Tau == 0 {
-		t.Tau = 10
-	}
-	if t.K == 0 {
-		t.K = 5
-	}
-	if t.Batch == 0 {
-		t.Batch = 32
-	}
-	if t.Steps == 0 {
-		t.Steps = 200
-	}
-	if t.EvalEvery == 0 {
-		t.EvalEvery = 20
-	}
-	if t.Het == "" {
-		t.Het = "iid"
-	}
-	if t.Seed == 0 {
-		t.Seed = 1
-	}
-}
+func (t *trainRequest) withDefaults() { t.ApplyDefaults() }
 
-// key canonically identifies the training spec for dedupe and for the
+// canonicalKey identifies the training spec for dedupe and for the
 // resume checkpoint's content address.
-func (t trainRequest) canonicalKey() string {
-	key := fmt.Sprintf("train|%s|%s|%g|%d|%d|%d|%d|%d|%g|%s|%d",
-		t.Model, t.Strategy, t.Theta, t.Tau, t.K, t.Batch, t.Steps, t.EvalEvery, t.Target, t.Het, t.Seed)
-	if t.Distributed {
-		// Distributed jobs never share resume checkpoints with local
-		// ones, so they dedupe under their own key space.
-		key += "|dist"
-	}
-	return key
-}
+func (t trainRequest) canonicalKey() string { return t.Key() }
 
 // jobSpec converts the request into the distributed job payload.
 func (t trainRequest) jobSpec() dist.JobSpec {
@@ -150,11 +96,17 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	train, test := models.DatasetFor(spec, req.Seed)
+	// The datasets are NOT synthesized here. Generating and normalizing
+	// a spec's workload costs hundreds of milliseconds — paying it on
+	// the admission path made POST /v1/train latency scale with dataset
+	// size instead of queue depth (and for distributed jobs the result
+	// was discarded entirely: the workers synthesize their own shards).
+	// Admission validates everything it can without the data and defers
+	// materialization to the job goroutine; core.NewSession re-validates
+	// the completed config before any training step runs.
 	cfg := core.Config{
 		K: req.K, BatchSize: req.Batch, Seed: req.Seed,
 		Model: spec.Build, Optimizer: spec.Optimizer,
-		Train: train, Test: test,
 		Het:            het,
 		MaxSteps:       req.Steps,
 		EvalEvery:      req.EvalEvery,
@@ -163,7 +115,7 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	}
 	// Reject bad configs at the door with the structured field errors,
 	// instead of surfacing them later as a failed job.
-	if err := cfg.Validate(); err != nil {
+	if err := validateAdmission(cfg); err != nil {
 		var cerr *core.ConfigError
 		if errors.As(err, &cerr) {
 			fields := make([]map[string]string, 0, len(cerr.Fields))
@@ -176,8 +128,13 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
-	strat, err := trainStrategyFor(req, cfg)
-	if err != nil {
+	// Vet the strategy name now (unknown strategies stay a 400, not a
+	// failed job). The probe uses an empty placeholder dataset; the real
+	// strategy is rebuilt in the goroutine because the FedOpt variants
+	// derive their round length from Train.Len().
+	probe := cfg
+	probe.Train = &data.Dataset{}
+	if _, err := trainStrategyFor(req, probe); err != nil {
 		writeError(w, http.StatusBadRequest, err.Error())
 		return
 	}
@@ -192,7 +149,7 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		j.Seed = req.Seed
 	})
 	if err != nil {
-		s.writeCapacity(w)
+		s.writeUnavailable(w, err)
 		return
 	}
 	if existing {
@@ -203,9 +160,36 @@ func (s *server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	if req.Distributed {
 		go s.executeTrainDistributed(j, req, ctx)
 	} else {
-		go s.executeTrain(j, cfg, strat, ctx)
+		go s.executeTrain(j, spec, req, cfg, ctx)
 	}
 	writeJSON(w, http.StatusAccepted, j.view())
+}
+
+// validateAdmission runs cfg.Validate but tolerates the Train/Test
+// emptiness errors: handleTrain admits before materializing the
+// datasets (see the comment there), and DatasetFor never yields an
+// empty set for a zoo spec, so those two fields cannot actually be
+// invalid. Every other field error is still rejected at the door.
+func validateAdmission(cfg core.Config) error {
+	err := cfg.Validate()
+	if err == nil {
+		return nil
+	}
+	var cerr *core.ConfigError
+	if !errors.As(err, &cerr) {
+		return err
+	}
+	fields := cerr.Fields[:0:0]
+	for _, f := range cerr.Fields {
+		if f.Field == "Train" || f.Field == "Test" {
+			continue
+		}
+		fields = append(fields, f)
+	}
+	if len(fields) == 0 {
+		return nil
+	}
+	return &core.ConfigError{Fields: fields}
 }
 
 // executeTrainDistributed coordinates one multi-process training run:
@@ -250,8 +234,10 @@ func (s *server) executeTrainDistributed(j *job, req trainRequest, ctx context.C
 
 // executeTrain drives one core.Session under the job's context,
 // restoring a prior interrupted submission's checkpoint when one exists
-// and writing one when this run is cancelled.
-func (s *server) executeTrain(j *job, cfg core.Config, strat core.Strategy, ctx context.Context) {
+// and writing one when this run is cancelled. Dataset synthesis and the
+// final strategy construction happen here, off the admission path — the
+// handler already vetted everything that can 400.
+func (s *server) executeTrain(j *job, spec models.Spec, req trainRequest, cfg core.Config, ctx context.Context) {
 	s.markStarted(j)
 	ckpt := s.checkpointPath(j.key)
 	defer s.wg.Done()
@@ -264,6 +250,12 @@ func (s *server) executeTrain(j *job, cfg core.Config, strat core.Strategy, ctx 
 		}
 	}()
 
+	cfg.Train, cfg.Test = models.DatasetFor(spec, req.Seed)
+	strat, err := trainStrategyFor(req, cfg)
+	if err != nil {
+		s.setStatus(j, statusFailed, err.Error(), nil)
+		return
+	}
 	sess, err := core.NewSession(ctx, cfg, strat)
 	if err != nil {
 		os.Remove(ckpt)

@@ -1,0 +1,155 @@
+// Package cluster is the scale-out serving layer (DESIGN.md §14): a
+// replica pool with cache-affinity routing, the fdagate HTTP gateway
+// that proxies the fdaserve v1 API across N replicas sharing one
+// content-addressed runstore, and the cluster saturation analyzer that
+// folds per-replica ramp reports into a single capacity report.
+//
+// Routing is two-tier. Submissions (train jobs, sweeps) are
+// content-addressed — the canonical dedupe key of the spec, hashed with
+// SHA-256 exactly like runstore addresses its run specs — and routed
+// rendezvous-hash-style by that address, so a resubmission of an
+// identical spec lands on the replica that already owns the job (or its
+// warm-start snapshots) no matter which gateway instance routes it.
+// When the affinity owner is quarantined, draining or overloaded, a
+// least-loaded fallback picks the shallowest queue among the survivors;
+// cached reads may be served by any replica because the store is
+// shared. The affinity function is a pure function of (spec, replica
+// set) — the package is inside fdavet's deterministic-lint scope, and
+// only the explicitly annotated health/load trackers depend on
+// measured state.
+package cluster
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/models"
+)
+
+// TrainSpec mirrors fdaserve's POST /v1/train body (cmd/fdaserve
+// train.go). The gateway decodes submissions into it to compute the
+// same canonical dedupe key the replica will compute, so affinity
+// routing and server-side dedupe always agree on what "the same job"
+// means.
+type TrainSpec struct {
+	Model       string  `json:"model"`
+	Strategy    string  `json:"strategy"`
+	Theta       float64 `json:"theta"`
+	Tau         int     `json:"tau"`
+	K           int     `json:"k"`
+	Batch       int     `json:"batch"`
+	Steps       int     `json:"steps"`
+	EvalEvery   int     `json:"eval_every"`
+	Target      float64 `json:"target"`
+	Het         string  `json:"het"`
+	Seed        uint64  `json:"seed"`
+	Distributed bool    `json:"distributed"`
+}
+
+// ApplyDefaults fills the zero-valued optional fields with the server's
+// documented defaults, mirroring trainRequest.withDefaults in
+// cmd/fdaserve. Two submissions that differ only in spelled-out
+// defaults must share one key.
+func (t *TrainSpec) ApplyDefaults() {
+	if t.Theta == 0 {
+		if spec, err := models.ByName(t.Model); err == nil && len(spec.ThetaGrid) > 1 {
+			t.Theta = spec.ThetaGrid[1]
+		}
+	}
+	if t.Tau == 0 {
+		t.Tau = 10
+	}
+	if t.K == 0 {
+		t.K = 5
+	}
+	if t.Batch == 0 {
+		t.Batch = 32
+	}
+	if t.Steps == 0 {
+		t.Steps = 200
+	}
+	if t.EvalEvery == 0 {
+		t.EvalEvery = 20
+	}
+	if t.Het == "" {
+		t.Het = "iid"
+	}
+	if t.Seed == 0 {
+		t.Seed = 1
+	}
+}
+
+// Key returns the canonical dedupe key of the spec — the same string
+// fdaserve registers the job under. Call ApplyDefaults first when the
+// spec came off the wire.
+func (t TrainSpec) Key() string {
+	key := fmt.Sprintf("train|%s|%s|%g|%d|%d|%d|%d|%d|%g|%s|%d",
+		t.Model, t.Strategy, t.Theta, t.Tau, t.K, t.Batch, t.Steps, t.EvalEvery, t.Target, t.Het, t.Seed)
+	if t.Distributed {
+		// Distributed jobs never share resume checkpoints with local
+		// ones, so they dedupe under their own key space.
+		key += "|dist"
+	}
+	return key
+}
+
+// SweepSpec mirrors fdaserve's POST /v1/runs body.
+type SweepSpec struct {
+	Experiment string `json:"experiment"`
+	Scale      string `json:"scale"`
+	Seed       uint64 `json:"seed"`
+}
+
+// ApplyDefaults fills the server-side defaults (handleSubmit in
+// cmd/fdaserve).
+func (s *SweepSpec) ApplyDefaults() {
+	if s.Scale == "" {
+		s.Scale = "quick"
+	}
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+}
+
+// Key returns the canonical dedupe key of the sweep spec.
+func (s SweepSpec) Key() string {
+	return fmt.Sprintf("sweep|%s|%s|%d", s.Experiment, s.Scale, s.Seed)
+}
+
+// Address content-addresses a canonical job key: hex SHA-256, the same
+// scheme runstore uses for run specs. It is the shard key of the
+// rendezvous router — equal specs hash to equal addresses on every
+// platform, so routing is a pure function of (spec, replica set).
+func Address(key string) string {
+	sum := sha256.Sum256([]byte(key))
+	return hex.EncodeToString(sum[:])
+}
+
+// AffinityAddress classifies a raw submission body (the bytes of a
+// POST /v1/train or POST /v1/runs request) and returns the content
+// address its job will dedupe under. ok is false when the body does
+// not decode — such requests carry no affinity and fall through to
+// least-loaded routing, where the owning replica will produce the
+// authoritative validation error.
+func AffinityAddress(kind string, body []byte) (addr string, ok bool) {
+	switch kind {
+	case "train":
+		var t TrainSpec
+		if err := json.Unmarshal(body, &t); err != nil || t.Model == "" || t.Strategy == "" {
+			return "", false
+		}
+		t.ApplyDefaults()
+		return Address(t.Key()), true
+	case "sweep":
+		var s SweepSpec
+		if err := json.Unmarshal(body, &s); err != nil || s.Experiment == "" {
+			return "", false
+		}
+		s.ApplyDefaults()
+		return Address(s.Key()), true
+	default:
+		return "", false
+	}
+}

@@ -21,6 +21,7 @@ var deterministicPackages = map[string]bool{
 	modulePath + "/internal/experiments": true,
 	modulePath + "/internal/dist":        true,
 	modulePath + "/internal/workload":    true,
+	modulePath + "/internal/cluster":     true,
 }
 
 // obsPath is the telemetry package, whose one-way dependency rule

@@ -33,8 +33,21 @@ type Env struct {
 // RampLevel is one rung of a ramp run: a fixed offered rate and the
 // stats the server sustained under it.
 type RampLevel struct {
-	OfferedRPS float64  `json:"offered_rps"`
-	Stats      RunStats `json:"stats"`
+	OfferedRPS float64 `json:"offered_rps"`
+	// RejectionRate is the level's shed-load fraction
+	// (rejected/issued) — 503s are graceful degradation, tracked apart
+	// from errors so capacity gates can bound them separately.
+	RejectionRate float64  `json:"rejection_rate"`
+	Stats         RunStats `json:"stats"`
+}
+
+// NewRampLevel builds one ramp rung, deriving the rejection rate.
+func NewRampLevel(offered float64, stats RunStats) RampLevel {
+	l := RampLevel{OfferedRPS: offered, Stats: stats}
+	if stats.Issued > 0 {
+		l.RejectionRate = float64(stats.Rejected) / float64(stats.Issued)
+	}
+	return l
 }
 
 // Report is fdaload's JSON output document.
@@ -57,9 +70,9 @@ type Report struct {
 	Benchmarks    []Benchmark `json:"benchmarks"`
 }
 
-// envMeta samples the running process's environment, matching
-// benchjson's env block.
-func envMeta() Env {
+// EnvMeta samples the running process's environment, matching
+// benchjson's env block (also used by cluster.BuildCapacityReport).
+func EnvMeta() Env {
 	e := Env{
 		GoVersion:  runtime.Version(),
 		GOMAXPROCS: runtime.GOMAXPROCS(0),
@@ -85,7 +98,7 @@ func envMeta() Env {
 func BuildReport(spec *Spec, stats RunStats, ramp []RampLevel) Report {
 	rep := Report{
 		GoOS: runtime.GOOS, GoArch: runtime.GOARCH,
-		Env:  envMeta(),
+		Env:  EnvMeta(),
 		Spec: spec,
 		Load: stats,
 		Ramp: ramp,
